@@ -1,0 +1,49 @@
+// Command antonbench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	antonbench [-quick] list
+//	antonbench [-quick] <experiment-id> [...]
+//	antonbench [-quick] all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anton/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduce sampling density of the expensive experiments")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || args[0] == "list" {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\nrun with: antonbench [-quick] <id> [...] | all")
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = nil
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "antonbench: unknown experiment %q (try: antonbench list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Println(e.Run(*quick))
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

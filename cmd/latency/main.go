@@ -1,0 +1,87 @@
+// Command latency is the ping/ping-pong latency microbenchmark: it
+// measures one-way counted-remote-write latency between two nodes of a
+// simulated Anton machine, the measurement behind Figures 5 and 6 and
+// Table 1.
+//
+// Usage:
+//
+//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anton/internal/machine"
+	"anton/internal/noc"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+func parseCoord(s string) (topo.Coord, error) {
+	var x, y, z int
+	if _, err := fmt.Sscanf(s, "%d,%d,%d", &x, &y, &z); err != nil {
+		return topo.Coord{}, fmt.Errorf("bad coordinate %q (want x,y,z)", s)
+	}
+	return topo.C(x, y, z), nil
+}
+
+func parseTorus(s string) (topo.Torus, error) {
+	var x, y, z int
+	if _, err := fmt.Sscanf(s, "%dx%dx%d", &x, &y, &z); err != nil {
+		return topo.Torus{}, fmt.Errorf("bad torus %q (want XxYxZ)", s)
+	}
+	return topo.NewTorus(x, y, z), nil
+}
+
+func measure(tor topo.Torus, from, to topo.Coord, bytes int) sim.Dur {
+	s := sim.New()
+	m := machine.New(s, tor, noc.DefaultModel())
+	src := packet.Client{Node: m.Torus.ID(from), Kind: packet.Slice0}
+	dst := packet.Client{Node: m.Torus.ID(to), Kind: packet.Slice0}
+	var avail sim.Time
+	m.Client(dst).Wait(0, 1, func() { avail = s.Now() })
+	m.Client(src).Write(dst, 0, 0, bytes)
+	s.Run()
+	return sim.Dur(avail)
+}
+
+func main() {
+	torusFlag := flag.String("torus", "8x8x8", "torus dimensions XxYxZ")
+	fromFlag := flag.String("from", "0,0,0", "source node coordinate")
+	toFlag := flag.String("to", "1,0,0", "destination node coordinate")
+	bytes := flag.Int("bytes", 0, "payload size (0-256)")
+	sweep := flag.Bool("sweep", false, "sweep payload sizes 0..256")
+	flag.Parse()
+
+	tor, err := parseTorus(*torusFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+	from, err := parseCoord(*fromFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+	to, err := parseCoord(*toFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+
+	hops := tor.HopsByDim(from, to)
+	fmt.Printf("torus %v, %v -> %v (%d hops: %d X, %d Y, %d Z)\n",
+		tor, from, to, hops[0]+hops[1]+hops[2], hops[0], hops[1], hops[2])
+	if *sweep {
+		fmt.Printf("%8s %12s\n", "bytes", "latency (ns)")
+		for _, b := range []int{0, 8, 16, 32, 64, 128, 192, 256} {
+			fmt.Printf("%8d %12.1f\n", b, measure(tor, from, to, b).Ns())
+		}
+		return
+	}
+	fmt.Printf("one-way software-to-software latency (%dB payload): %.1f ns\n",
+		*bytes, measure(tor, from, to, *bytes).Ns())
+}

@@ -1,0 +1,87 @@
+// Command mdsim runs a molecular dynamics simulation end to end: the real
+// (sequential) MD engine produces physics, while the same workload mapped
+// onto the simulated Anton machine produces per-step communication and
+// timing measurements.
+//
+// Usage:
+//
+//	mdsim [-atoms 23558] [-steps 10] [-torus 8x8x8] [-seed 1]
+//	      [-thermostat] [-migrate 8] [-engine-molecules 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anton/internal/machine"
+	"anton/internal/md"
+	"anton/internal/mdmap"
+	"anton/internal/noc"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+func main() {
+	atoms := flag.Int("atoms", 23558, "atoms in the parallel timing model")
+	steps := flag.Int("steps", 10, "time steps to simulate on the machine")
+	torusFlag := flag.String("torus", "8x8x8", "machine torus XxYxZ")
+	seed := flag.Int64("seed", 1, "workload seed")
+	thermostat := flag.Bool("thermostat", true, "enable temperature control")
+	migrate := flag.Int("migrate", 8, "migration interval in steps (0 = off)")
+	engineMol := flag.Int("engine-molecules", 64, "molecules for the physical engine demo (0 = skip)")
+	flag.Parse()
+
+	var tx, ty, tz int
+	if _, err := fmt.Sscanf(*torusFlag, "%dx%dx%d", &tx, &ty, &tz); err != nil {
+		fmt.Fprintf(os.Stderr, "mdsim: bad torus %q\n", *torusFlag)
+		os.Exit(1)
+	}
+
+	if *engineMol > 0 {
+		fmt.Printf("=== physical MD engine (%d molecules, sequential) ===\n", *engineMol)
+		sys := md.Build(md.Config{Molecules: *engineMol, Temperature: 1.0, Seed: *seed})
+		in := md.NewIntegrator(sys, 0.002)
+		in.Thermostat = *thermostat
+		in.TargetT = 1.0
+		in.LongRangeInterval = 2
+		in.ComputeForces()
+		fmt.Printf("%6s %14s %14s %10s\n", "step", "potential", "total energy", "temp")
+		for i := 0; i <= 50; i += 10 {
+			if i > 0 {
+				in.Run(10)
+			}
+			fmt.Printf("%6d %14.4f %14.4f %10.4f\n",
+				in.StepCount(), in.E.Potential(), in.TotalEnergy(), sys.Temperature())
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("=== %d-atom workload on a %s Anton machine ===\n", *atoms, *torusFlag)
+	s := sim.New()
+	m := machine.New(s, topo.NewTorus(tx, ty, tz), noc.DefaultModel())
+	cfg := mdmap.DefaultConfig()
+	cfg.Atoms = *atoms
+	cfg.Seed = *seed
+	cfg.ThermostatOn = *thermostat
+	cfg.MigrationInterval = *migrate
+	if tx < 8 {
+		cfg.GridN = 16
+	}
+	mp := mdmap.New(s, m, cfg)
+	fmt.Printf("%d bond-term deliveries/step, %d position packets/node, ~%d range-limited pairs/node\n\n",
+		mp.BondInstances(), mp.PosPackets(), mp.PairsPerNode())
+	fmt.Printf("%6s %-14s %10s %10s %8s %8s %8s %8s\n",
+		"step", "kind", "total", "comm", "fft", "thermo", "migr", "sent/node")
+	var sumTotal, sumComm sim.Dur
+	for i := 0; i < *steps; i++ {
+		st := mp.RunStep()
+		sumTotal += st.Total
+		sumComm += st.Comm
+		fmt.Printf("%6d %-14v %9.2fus %9.2fus %7.2fus %7.2fus %7.2fus %8.0f\n",
+			i+1, st.Kind, st.Total.Us(), st.Comm.Us(), st.FFT.Us(), st.Thermo.Us(), st.Migr.Us(), st.SentPerNode)
+	}
+	n := sim.Dur(*steps)
+	fmt.Printf("\naverage: total %.2f us/step, critical-path communication %.2f us/step\n",
+		(sumTotal / n).Us(), (sumComm / n).Us())
+}

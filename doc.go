@@ -1,0 +1,9 @@
+// Package anton is a reproduction, in Go, of "Exploiting 162-Nanosecond
+// End-to-End Communication Latency on Anton" (Dror et al., SC10). The
+// repository contains a deterministic event-driven model of Anton's
+// communication architecture, a molecular dynamics engine and its mapping
+// onto the machine, a commodity-cluster baseline, and a harness that
+// regenerates every table and figure of the paper's evaluation; see the
+// README and DESIGN.md. The top-level benchmarks in bench_test.go run one
+// reproduction per published table and figure.
+package anton

@@ -1,0 +1,60 @@
+// Mdrun: a complete molecular dynamics workflow. First the sequential MD
+// engine integrates a small system (real physics: bonded terms,
+// range-limited Lennard-Jones + Ewald real space, grid-based long-range
+// electrostatics through the from-scratch FFT). Then the same dataflow is
+// mapped onto a simulated 64-node Anton machine and the per-step
+// communication structure is reported.
+//
+// Run with: go run ./examples/mdrun
+package main
+
+import (
+	"fmt"
+
+	"anton/internal/machine"
+	"anton/internal/md"
+	"anton/internal/mdmap"
+	"anton/internal/noc"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+func main() {
+	// --- Part 1: real physics at laptop scale. ---
+	sys := md.Build(md.Config{Molecules: 48, Temperature: 0.8, Seed: 42})
+	fmt.Printf("built %d atoms in a %.2f^3 box: %d bonds, %d angles, %d range-limited pairs\n",
+		sys.N(), sys.Box, len(sys.Bonds), len(sys.Angles), sys.PairCountWithinCutoff())
+
+	in := md.NewIntegrator(sys, 0.002)
+	in.LongRangeInterval = 2 // Anton evaluates long-range forces every other step
+	e := in.ComputeForces()
+	fmt.Printf("energies: bond %.3f, angle %.3f, range-limited %.3f, long-range %.3f, self %.3f\n",
+		e.Bond, e.Angle, e.RangeLimited, e.LongRange, e.Self)
+
+	e0 := in.TotalEnergy()
+	in.Run(100)
+	fmt.Printf("after 100 NVE steps: total energy %.4f -> %.4f (drift %.4f%%), temperature %.3f\n\n",
+		e0, in.TotalEnergy(), 100*(in.TotalEnergy()-e0)/e0, sys.Temperature())
+
+	// --- Part 2: the same dataflow on a simulated Anton machine. ---
+	s := sim.New()
+	m := machine.New(s, topo.NewTorus(4, 4, 4), noc.DefaultModel())
+	cfg := mdmap.DefaultConfig()
+	cfg.Atoms = 6000
+	cfg.GridN = 16
+	mp := mdmap.New(s, m, cfg)
+	fmt.Printf("mapped a %d-atom system onto %d nodes: %d position packets/node,\n",
+		mp.Sys.N(), m.Torus.Nodes(), mp.PosPackets())
+	fmt.Printf("%d bond-term deliveries/step, import region of %d HTIS units\n\n",
+		mp.BondInstances(), len(mp.ImportSet(0)))
+
+	for i := 0; i < 4; i++ {
+		st := mp.RunStep()
+		fmt.Printf("step %d (%-13v): total %6.2f us, critical-path comm %6.2f us, "+
+			"%3.0f msgs sent / %4.0f received per node\n",
+			i+1, st.Kind, st.Total.Us(), st.Comm.Us(), st.SentPerNode, st.RecvPerNode)
+	}
+	fmt.Println("\nthe long-range steps include the distributed FFT convolution and the")
+	fmt.Println("dimension-ordered all-reduce for the thermostat; every phase synchronizes")
+	fmt.Println("through counted remote writes only")
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+
+	"anton/internal/sim"
+)
+
+func TestDesmondPhaseCalibration(t *testing.T) {
+	// Table 3's Desmond column (communication): range-limited 108 us, FFT
+	// convolution 230 us, thermostat 78 us, long-range 416 us. The model
+	// must land within 15%.
+	pt := Measure(512, DDR2InfiniBand())
+	cases := []struct {
+		name   string
+		got    float64
+		wantUs float64
+	}{
+		{"range-limited", pt.RangeLimitedComm.Us(), 108},
+		{"FFT convolution", pt.FFTComm.Us(), 230},
+		{"thermostat", pt.ThermostatComm.Us(), 78},
+		{"long-range", pt.LongRangeComm.Us(), 416},
+	}
+	for _, c := range cases {
+		if c.got < c.wantUs*0.85 || c.got > c.wantUs*1.15 {
+			t.Errorf("Desmond %s comm = %.1fus, want %.0fus +/- 15%%", c.name, c.got, c.wantUs)
+		}
+	}
+}
+
+func TestDesmondLongRangeIsSumOfPhases(t *testing.T) {
+	// The long-range step's communication is the three phases run back to
+	// back; allow a small delta for phase-boundary effects.
+	pt := Measure(512, DDR2InfiniBand())
+	sum := pt.RangeLimitedComm + pt.FFTComm + pt.ThermostatComm
+	diff := float64(pt.LongRangeComm-sum) / float64(sum)
+	if diff < -0.05 || diff > 0.05 {
+		t.Fatalf("long-range %v vs phase sum %v (%.1f%% apart)", pt.LongRangeComm, sum, 100*diff)
+	}
+}
+
+func TestDesmondComputeConstants(t *testing.T) {
+	// The published per-phase totals must emerge from comm + compute.
+	d := NewDesmond(New(sim.New(), 1, DDR2InfiniBand()))
+	pt := Measure(512, DDR2InfiniBand())
+	rlTotal := (pt.RangeLimitedComm + d.RangeLimitedCompute).Us()
+	lrTotal := (pt.LongRangeComm + d.LongRangeCompute).Us()
+	if rlTotal < 300 || rlTotal > 400 {
+		t.Errorf("Desmond range-limited total = %.0fus, want ~351", rlTotal)
+	}
+	if lrTotal < 660 || lrTotal > 900 {
+		t.Errorf("Desmond long-range total = %.0fus, want ~779", lrTotal)
+	}
+}
+
+func TestAntonDesmondCommRatio(t *testing.T) {
+	// The paper's headline: Anton's critical-path communication is ~1/27
+	// of Desmond's. The Anton side is asserted in mdmap's production test;
+	// here we pin the Desmond average so the ratio cannot drift silently.
+	pt := Measure(512, DDR2InfiniBand())
+	avg := (pt.RangeLimitedComm + pt.LongRangeComm).Us() / 2
+	if avg < 220 || avg > 300 {
+		t.Fatalf("Desmond average comm = %.0fus, want ~262", avg)
+	}
+}

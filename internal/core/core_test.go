@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"anton/internal/machine"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+func newMachine() (*sim.Sim, *machine.Machine) {
+	s := sim.New()
+	return s, machine.Default512(s)
+}
+
+func client(n topo.NodeID, k packet.ClientKind) packet.Client {
+	return packet.Client{Node: n, Kind: k}
+}
+
+func TestPatternBasicCompletion(t *testing.T) {
+	s, m := newMachine()
+	p := NewPattern(m, "positions", 0, 0)
+	dst := client(10, packet.Slice0)
+	fa := p.AddFlow(client(1, packet.Slice0), dst, 3, 32, 4)
+	fb := p.AddFlow(client(2, packet.Slice1), dst, 2, 32, 4)
+	p.Freeze()
+	if p.Expected(dst) != 5 {
+		t.Fatalf("expected = %d, want 5", p.Expected(dst))
+	}
+	var done sim.Time = -1
+	p.OnComplete(dst, func() { done = s.Now() })
+	for i := 0; i < 3; i++ {
+		fa.Push(float64(i))
+	}
+	fb.Push(100)
+	fb.Push(101)
+	s.Run()
+	if done < 0 {
+		t.Fatal("pattern never completed")
+	}
+	// Buffers are disjoint and per-slot: flow A at 0..11, flow B at 12..19.
+	mem := m.Client(dst).Mem(0, 20)
+	if mem[0] != 0 || mem[4] != 1 || mem[8] != 2 {
+		t.Fatalf("flow A slots wrong: %v", mem[:12])
+	}
+	if mem[12] != 100 || mem[16] != 101 {
+		t.Fatalf("flow B slots wrong: %v", mem[12:20])
+	}
+}
+
+func TestPatternRounds(t *testing.T) {
+	s, m := newMachine()
+	p := NewPattern(m, "step", 1, 0)
+	dst := client(5, packet.Slice2)
+	f := p.AddFlow(client(4, packet.Slice0), dst, 2, 16, 2)
+	p.Freeze()
+	for round := 1; round <= 3; round++ {
+		var done bool
+		p.OnComplete(dst, func() { done = true })
+		f.Push(float64(round))
+		f.Push(float64(round * 10))
+		s.Run()
+		if !done {
+			t.Fatalf("round %d never completed", round)
+		}
+		if p.Round() != round {
+			t.Fatalf("Round() = %d, want %d", p.Round(), round)
+		}
+		p.NextRound()
+	}
+	// Counter accumulated across rounds: 3 rounds x 2 packets.
+	if got := m.Client(dst).Counter(1).Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+}
+
+func TestOverSendPanics(t *testing.T) {
+	_, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	f := p.AddFlow(client(0, packet.Slice0), client(1, packet.Slice0), 1, 8, 1)
+	p.Freeze()
+	f.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when exceeding fixed packet count")
+		}
+	}()
+	f.Push(2)
+}
+
+func TestNextRoundRequiresFullSend(t *testing.T) {
+	_, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	p.AddFlow(client(0, packet.Slice0), client(1, packet.Slice0), 2, 8, 1)
+	p.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic advancing round with packets unsent")
+		}
+	}()
+	p.NextRound()
+}
+
+func TestFreezeDiscipline(t *testing.T) {
+	_, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	f := p.AddFlow(client(0, packet.Slice0), client(1, packet.Slice0), 1, 8, 1)
+	mustPanic(t, "Push before Freeze", func() { f.Push(1) })
+	mustPanic(t, "OnComplete before Freeze", func() { p.OnComplete(client(1, packet.Slice0), func() {}) })
+	mustPanic(t, "NextRound before Freeze", func() { p.NextRound() })
+	p.Freeze()
+	mustPanic(t, "AddFlow after Freeze", func() {
+		p.AddFlow(client(0, packet.Slice0), client(2, packet.Slice0), 1, 8, 1)
+	})
+	mustPanic(t, "double Freeze", func() { p.Freeze() })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	fn()
+}
+
+func TestAccumFlowsAlias(t *testing.T) {
+	s, m := newMachine()
+	p := NewPattern(m, "forces", 2, 100)
+	acc := client(7, packet.Accum0)
+	// Three sources each contribute one packet of 2 words into the same
+	// accumulation range — force accumulation in miniature.
+	var flows []*Flow
+	for i := 0; i < 3; i++ {
+		flows = append(flows, p.AddAccumFlow(client(topo.NodeID(20+i), packet.Slice0), acc, 1, 16, 2))
+	}
+	p.Freeze()
+	var done sim.Time = -1
+	p.OnComplete(acc, func() { done = s.Now() })
+	for i, f := range flows {
+		f.Push(float64(i+1), float64(10*(i+1)))
+	}
+	s.Run()
+	if done < 0 {
+		t.Fatal("accumulation never completed")
+	}
+	got := m.Client(acc).Mem(100, 2)
+	if got[0] != 6 || got[1] != 60 {
+		t.Fatalf("accumulated = %v, want [6 60]", got)
+	}
+}
+
+func TestAccumCompletionUsesRemotePoll(t *testing.T) {
+	// Completion on an accumulation memory must charge the cross-ring
+	// polling penalty; completion on a slice must not.
+	s, m := newMachine()
+	pa := NewPattern(m, "a", 0, 0)
+	acc := client(3, packet.Accum1)
+	fa := pa.AddAccumFlow(client(2, packet.Slice0), acc, 1, 8, 1)
+	pa.Freeze()
+	var accDone sim.Time = -1
+	pa.OnComplete(acc, func() { accDone = s.Now() })
+	fa.Push(1)
+	s.Run()
+
+	s2 := sim.New()
+	m2 := machine.Default512(s2)
+	pb := NewPattern(m2, "b", 0, 0)
+	dst := client(3, packet.Slice0)
+	fb := pb.AddFlow(client(2, packet.Slice0), dst, 1, 8, 1)
+	pb.Freeze()
+	var sliceDone sim.Time = -1
+	pb.OnComplete(dst, func() { sliceDone = s2.Now() })
+	fb.Push(1)
+	s2.Run()
+
+	diff := accDone.Sub(sliceDone)
+	model := m.Model
+	wantDiff := model.AccumPoll + (model.AccumDeliver - model.Deliver)
+	if diff != wantDiff {
+		t.Fatalf("accum completion penalty = %v, want %v", diff, wantDiff)
+	}
+}
+
+func TestAccumFlowIntoSlicePanics(t *testing.T) {
+	_, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	mustPanic(t, "accum flow into slice", func() {
+		p.AddAccumFlow(client(0, packet.Slice0), client(1, packet.Slice0), 1, 8, 1)
+	})
+}
+
+func TestOnCompleteUnknownDestinationPanics(t *testing.T) {
+	_, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	p.AddFlow(client(0, packet.Slice0), client(1, packet.Slice0), 1, 8, 1)
+	p.Freeze()
+	mustPanic(t, "unknown destination", func() {
+		p.OnComplete(client(2, packet.Slice0), func() {})
+	})
+}
+
+func TestZeroCountFlowPanics(t *testing.T) {
+	_, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	mustPanic(t, "zero-count flow", func() {
+		p.AddFlow(client(0, packet.Slice0), client(1, packet.Slice0), 0, 8, 1)
+	})
+}
+
+func TestPushAllTimingOnly(t *testing.T) {
+	s, m := newMachine()
+	p := NewPattern(m, "x", 0, 0)
+	dst := client(30, packet.HTIS)
+	f := p.AddFlow(client(0, packet.Slice0), dst, 17, 32, 4)
+	p.Freeze()
+	var done bool
+	p.OnComplete(dst, func() { done = true })
+	f.PushAll()
+	s.Run()
+	if !done || f.Sent() != 17 {
+		t.Fatalf("PushAll: done=%v sent=%d", done, f.Sent())
+	}
+}
+
+// The paradigm is logically equivalent to a gather (a set of remote reads)
+// but completes without the receiver ever messaging the senders: verify no
+// packets flow from the receiver's node.
+func TestNoReceiverToSenderTraffic(t *testing.T) {
+	s, m := newMachine()
+	p := NewPattern(m, "gather", 0, 0)
+	dst := client(40, packet.Slice0)
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		flows = append(flows, p.AddFlow(client(topo.NodeID(50+i), packet.Slice0), dst, 2, 64, 8))
+	}
+	p.Freeze()
+	p.OnComplete(dst, func() {})
+	for _, f := range flows {
+		f.PushAll()
+	}
+	s.Run()
+	if m.Stats().NodeSent(40) != 0 {
+		t.Fatal("receiver node sent packets; counted remote writes need no reverse traffic")
+	}
+	if m.Stats().NodeReceived(40) != 8 {
+		t.Fatalf("receiver got %d packets, want 8", m.Stats().NodeReceived(40))
+	}
+}

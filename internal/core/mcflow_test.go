@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"anton/internal/collective"
+	"anton/internal/machine"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// ringDests returns the slice-k clients of every other node in node 0's X
+// ring on an 8x8x8 machine.
+func ringDests(m *machine.Machine, kind packet.ClientKind) []packet.Client {
+	var out []packet.Client
+	for x := 1; x < 8; x++ {
+		out = append(out, packet.Client{Node: m.Torus.ID(topo.C(x, 0, 0)), Kind: kind})
+	}
+	return out
+}
+
+func TestMcFlowCompletion(t *testing.T) {
+	s := sim.New()
+	m := machine.Default512(s)
+	collective.InstallRingBroadcast(m, topo.X, packet.Slice1, 0)
+	p := NewPattern(m, "positions", 3, 0)
+	src := packet.Client{Node: 0, Kind: packet.Slice0}
+	dests := ringDests(m, packet.Slice1)
+	f := p.AddMcFlow(src, 0, dests, 5, 32, 4)
+	p.Freeze()
+	for _, d := range dests {
+		if p.Expected(d) != 5 {
+			t.Fatalf("expected at %v = %d, want 5", d, p.Expected(d))
+		}
+	}
+	completions := 0
+	for _, d := range dests {
+		p.OnComplete(d, func() { completions++ })
+	}
+	for i := 0; i < 5; i++ {
+		f.Push(float64(i), 0, 0, 0)
+	}
+	s.Run()
+	if completions != 7 {
+		t.Fatalf("completions = %d, want 7", completions)
+	}
+	// Each destination's preallocated slots hold the per-packet payloads.
+	for _, d := range dests {
+		for i := 0; i < 5; i++ {
+			if got := m.Client(d).Mem(f.Addr+i*4, 1)[0]; got != float64(i) {
+				t.Fatalf("%v slot %d = %v", d, i, got)
+			}
+		}
+	}
+	// One injection per packet, seven deliveries each.
+	if st := m.Stats(); st.Sent != 5 || st.Received != 35 {
+		t.Fatalf("sent=%d received=%d, want 5/35", st.Sent, st.Received)
+	}
+}
+
+func TestMcFlowRounds(t *testing.T) {
+	s := sim.New()
+	m := machine.Default512(s)
+	collective.InstallRingBroadcast(m, topo.X, packet.Slice1, 0)
+	p := NewPattern(m, "rounds", 3, 0)
+	src := packet.Client{Node: 0, Kind: packet.Slice0}
+	dests := ringDests(m, packet.Slice1)
+	f := p.AddMcFlow(src, 0, dests, 2, 16, 2)
+	p.Freeze()
+	for round := 1; round <= 3; round++ {
+		done := 0
+		for _, d := range dests {
+			p.OnComplete(d, func() { done++ })
+		}
+		f.PushAll()
+		s.Run()
+		if done != 7 {
+			t.Fatalf("round %d completions = %d", round, done)
+		}
+		p.NextRound()
+	}
+}
+
+func TestMcFlowOverSendPanics(t *testing.T) {
+	s := sim.New()
+	m := machine.Default512(s)
+	collective.InstallRingBroadcast(m, topo.X, packet.Slice1, 0)
+	p := NewPattern(m, "x", 3, 0)
+	f := p.AddMcFlow(packet.Client{Node: 0, Kind: packet.Slice0}, 0, ringDests(m, packet.Slice1), 1, 8, 1)
+	p.Freeze()
+	f.Push()
+	mustPanic(t, "multicast over-send", func() { f.Push() })
+}
+
+func TestMcFlowValidation(t *testing.T) {
+	s := sim.New()
+	m := machine.Default512(s)
+	p := NewPattern(m, "x", 3, 0)
+	src := packet.Client{Node: 0, Kind: packet.Slice0}
+	mustPanic(t, "zero count", func() {
+		p.AddMcFlow(src, 0, ringDests(m, packet.Slice1), 0, 8, 1)
+	})
+	mustPanic(t, "no destinations", func() {
+		p.AddMcFlow(src, 0, nil, 1, 8, 1)
+	})
+	p.Freeze()
+	mustPanic(t, "add after freeze", func() {
+		p.AddMcFlow(src, 0, ringDests(m, packet.Slice1), 1, 8, 1)
+	})
+}
+
+func TestMcFlowIncompleteRoundPanics(t *testing.T) {
+	s := sim.New()
+	m := machine.Default512(s)
+	collective.InstallRingBroadcast(m, topo.X, packet.Slice1, 0)
+	p := NewPattern(m, "x", 3, 0)
+	f := p.AddMcFlow(packet.Client{Node: 0, Kind: packet.Slice0}, 0, ringDests(m, packet.Slice1), 2, 8, 1)
+	p.Freeze()
+	f.Push()
+	mustPanic(t, "incomplete multicast round", func() { p.NextRound() })
+}

@@ -1,0 +1,185 @@
+// Package fft provides the fast Fourier transforms behind Anton's
+// long-range electrostatics: a from-scratch radix-2 complex FFT, a
+// sequential 3D transform used as the ground truth, and a distributed
+// dimension-ordered 3D FFT that runs on the simulated machine using
+// fine-grained counted remote writes (one grid point per packet), as
+// described in Section IV.B.3 of the paper and in Young et al.'s
+// companion paper on Anton's 4-microsecond 32x32x32 FFT.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT performs an in-place forward transform of a (whose length must be a
+// power of two) using an iterative radix-2 decimation-in-time algorithm.
+func FFT(a []complex128) { transform(a, false) }
+
+// IFFT performs an in-place inverse transform of a, including the 1/N
+// normalization.
+func IFFT(a []complex128) {
+	transform(a, true)
+	scale := complex(1/float64(len(a)), 0)
+	for i := range a {
+		a[i] *= scale
+	}
+}
+
+func transform(a []complex128, inverse bool) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// DFT computes the forward transform by direct summation. O(n^2); used
+// only to validate FFT in tests.
+func DFT(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k*t) / float64(n)
+			sum += a[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Grid is a cubic 3D complex grid of side N stored in x-major order:
+// index = (x*N + y)*N + z.
+type Grid struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid allocates a zero grid of side n.
+func NewGrid(n int) *Grid {
+	return &Grid{N: n, Data: make([]complex128, n*n*n)}
+}
+
+// Idx returns the linear index of (x, y, z).
+func (g *Grid) Idx(x, y, z int) int { return (x*g.N+y)*g.N + z }
+
+// At returns the value at (x, y, z).
+func (g *Grid) At(x, y, z int) complex128 { return g.Data[g.Idx(x, y, z)] }
+
+// Set stores v at (x, y, z).
+func (g *Grid) Set(x, y, z int, v complex128) { g.Data[g.Idx(x, y, z)] = v }
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := NewGrid(g.N)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Forward transforms the grid in place: 1D FFTs along x, then y, then z —
+// the same dimension order the distributed implementation uses.
+func (g *Grid) Forward() { g.apply(FFT) }
+
+// Inverse applies the inverse transform in reverse dimension order.
+func (g *Grid) Inverse() { g.applyReverse(IFFT) }
+
+func (g *Grid) apply(f func([]complex128)) {
+	g.alongX(f)
+	g.alongY(f)
+	g.alongZ(f)
+}
+
+func (g *Grid) applyReverse(f func([]complex128)) {
+	g.alongZ(f)
+	g.alongY(f)
+	g.alongX(f)
+}
+
+func (g *Grid) alongX(f func([]complex128)) {
+	n := g.N
+	line := make([]complex128, n)
+	for y := 0; y < n; y++ {
+		for z := 0; z < n; z++ {
+			for x := 0; x < n; x++ {
+				line[x] = g.At(x, y, z)
+			}
+			f(line)
+			for x := 0; x < n; x++ {
+				g.Set(x, y, z, line[x])
+			}
+		}
+	}
+}
+
+func (g *Grid) alongY(f func([]complex128)) {
+	n := g.N
+	line := make([]complex128, n)
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				line[y] = g.At(x, y, z)
+			}
+			f(line)
+			for y := 0; y < n; y++ {
+				g.Set(x, y, z, line[y])
+			}
+		}
+	}
+}
+
+func (g *Grid) alongZ(f func([]complex128)) {
+	n := g.N
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			f(g.Data[g.Idx(x, y, 0) : g.Idx(x, y, 0)+n])
+		}
+	}
+}
+
+// Convolve multiplies the grid's spectrum by green point-wise: forward
+// transform, multiply, inverse transform. green is indexed like the grid
+// (wave-number space).
+func (g *Grid) Convolve(green *Grid) {
+	if green.N != g.N {
+		panic("fft: green function grid size mismatch")
+	}
+	g.Forward()
+	for i := range g.Data {
+		g.Data[i] *= green.Data[i]
+	}
+	g.Inverse()
+}

@@ -1,0 +1,291 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+const eps = 1e-9
+
+func approxEq(a, b complex128) bool { return cmplx.Abs(a-b) < eps }
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		a := randVec(rng, n)
+		want := DFT(a)
+		FFT(a)
+		for i := range a {
+			if !approxEq(a[i], want[i]) {
+				t.Fatalf("n=%d: FFT[%d] = %v, DFT = %v", n, i, a[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 32, 256} {
+		a := randVec(rng, n)
+		orig := append([]complex128(nil), a...)
+		FFT(a)
+		IFFT(a)
+		for i := range a {
+			if !approxEq(a[i], orig[i]) {
+				t.Fatalf("n=%d: roundtrip[%d] = %v, want %v", n, i, a[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	a := []complex128{1, 0, 0, 0}
+	FFT(a)
+	for i, v := range a {
+		if !approxEq(v, 1) {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+	// FFT of a constant is an impulse of size n at k=0.
+	b := []complex128{1, 1, 1, 1}
+	FFT(b)
+	if !approxEq(b[0], 4) || !approxEq(b[1], 0) || !approxEq(b[2], 0) || !approxEq(b[3], 0) {
+		t.Fatalf("constant FFT = %v", b)
+	}
+	// Single tone: e^{2*pi*i*x/n} has all energy at k=1.
+	n := 8
+	c := make([]complex128, n)
+	for i := range c {
+		c[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(i)/float64(n)))
+	}
+	FFT(c)
+	for k, v := range c {
+		want := complex128(0)
+		if k == 1 {
+			want = complex(float64(n), 0)
+		}
+		if !approxEq(v, want) {
+			t.Fatalf("tone FFT[%d] = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 32
+		a, b := randVec(rng, n), randVec(rng, n)
+		alpha := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + alpha*b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := range sum {
+			if !approxEq(sum[i], a[i]+alpha*b[i]) {
+				t.Fatalf("linearity violated at %d", i)
+			}
+		}
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 64
+	a := randVec(rng, n)
+	var timeE float64
+	for _, v := range a {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	FFT(a)
+	var freqE float64
+	for _, v := range a {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-8 {
+		t.Fatalf("Parseval violated: time %v, freq/n %v", timeE, freqE/float64(n))
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	FFT(nil) // must not panic
+	one := []complex128{5}
+	FFT(one)
+	if one[0] != 5 {
+		t.Fatalf("FFT of singleton = %v", one[0])
+	}
+}
+
+func TestGridForwardMatchesSeparableDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 4
+	g := NewGrid(n)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := NewGrid(n)
+	// Direct 3D DFT.
+	for kx := 0; kx < n; kx++ {
+		for ky := 0; ky < n; ky++ {
+			for kz := 0; kz < n; kz++ {
+				var sum complex128
+				for x := 0; x < n; x++ {
+					for y := 0; y < n; y++ {
+						for z := 0; z < n; z++ {
+							ang := -2 * math.Pi * float64(kx*x+ky*y+kz*z) / float64(n)
+							sum += g.At(x, y, z) * cmplx.Exp(complex(0, ang))
+						}
+					}
+				}
+				want.Set(kx, ky, kz, sum)
+			}
+		}
+	}
+	f := g.Clone()
+	f.Forward()
+	for i := range f.Data {
+		if cmplx.Abs(f.Data[i]-want.Data[i]) > 1e-8 {
+			t.Fatalf("3D FFT[%d] = %v, want %v", i, f.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestGridRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := NewGrid(8)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	orig := g.Clone()
+	g.Forward()
+	g.Inverse()
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig.Data[i]) > 1e-9 {
+			t.Fatalf("3D roundtrip diverged at %d", i)
+		}
+	}
+}
+
+func TestGridConvolveIdentity(t *testing.T) {
+	// Convolving with a green function of all ones is the identity.
+	rng := rand.New(rand.NewSource(7))
+	g := NewGrid(4)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	orig := g.Clone()
+	green := NewGrid(4)
+	for i := range green.Data {
+		green.Data[i] = 1
+	}
+	g.Convolve(green)
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig.Data[i]) > 1e-9 {
+			t.Fatalf("identity convolution diverged at %d", i)
+		}
+	}
+}
+
+func TestGridConvolveMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	NewGrid(4).Convolve(NewGrid(8))
+}
+
+func TestGridIndexing(t *testing.T) {
+	g := NewGrid(3)
+	g.Set(1, 2, 0, 7)
+	if g.At(1, 2, 0) != 7 {
+		t.Fatal("Set/At mismatch")
+	}
+	if g.Idx(2, 2, 2) != 26 {
+		t.Fatalf("Idx(2,2,2) = %d", g.Idx(2, 2, 2))
+	}
+}
+
+func BenchmarkFFT1D32(b *testing.B) {
+	a := make([]complex128, 32)
+	for i := range a {
+		a[i] = complex(float64(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(a)
+	}
+}
+
+func BenchmarkGrid32Forward(b *testing.B) {
+	g := NewGrid(32)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i%17), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward()
+	}
+}
+
+// Property: the spectrum of a real signal is Hermitian: X[k] = conj(X[n-k]).
+func TestFFTHermitianSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 64
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), 0)
+		}
+		FFT(a)
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(a[k]-cmplx.Conj(a[n-k])) > 1e-9 {
+				t.Fatalf("Hermitian symmetry violated at k=%d", k)
+			}
+		}
+		if imag(a[0]) > 1e-12 {
+			t.Fatalf("DC term not real: %v", a[0])
+		}
+	}
+}
+
+// Property: FFT is an isometry up to sqrt(n): shifting the input rotates
+// phases but preserves magnitudes.
+func TestFFTShiftInvariantMagnitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 32
+	a := randVec(rng, n)
+	shifted := make([]complex128, n)
+	for i := range a {
+		shifted[i] = a[(i+5)%n]
+	}
+	FFT(a)
+	FFT(shifted)
+	for k := range a {
+		if math.Abs(cmplx.Abs(a[k])-cmplx.Abs(shifted[k])) > 1e-9 {
+			t.Fatalf("shift changed magnitude at k=%d", k)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+
+	"anton/internal/cluster"
+	"anton/internal/machine"
+	"anton/internal/noc"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// antonTransfer measures the total time to move totalBytes from slice0 at
+// the origin to slice0 of a node `hops` X hops away, split into count
+// equal messages. Messages larger than the 256-byte payload limit are
+// carried in multiple packets, exactly as Anton software would send them.
+func antonTransfer(hops, totalBytes, count int) sim.Dur {
+	s := sim.New()
+	m := machine.Default512(s)
+	dst := packet.Client{Node: m.Torus.ID(topo.C(hops, 0, 0)), Kind: packet.Slice0}
+	src := m.Client(packet.Client{Node: 0, Kind: packet.Slice0})
+
+	per := totalBytes / count
+	packets := 0
+	var done sim.Time
+	send := func(bytes int) {
+		for bytes > 0 {
+			chunk := bytes
+			if chunk > packet.MaxPayloadBytes {
+				chunk = packet.MaxPayloadBytes
+			}
+			src.Write(dst, 3, packets*32, chunk)
+			packets++
+			bytes -= chunk
+		}
+	}
+	for i := 0; i < count; i++ {
+		bytes := per
+		if i == count-1 {
+			bytes = totalBytes - per*(count-1)
+		}
+		send(bytes)
+	}
+	m.Client(dst).Wait(3, uint64(packets), func() { done = s.Now() })
+	s.Run()
+	return sim.Dur(done)
+}
+
+func infinibandTransfer(totalBytes, count int) sim.Dur {
+	s := sim.New()
+	c := cluster.New(s, 2, cluster.DDR2InfiniBand())
+	var done sim.Time
+	c.TransferManyMessages(0, 1, totalBytes, count, func(at sim.Time) { done = at })
+	s.Run()
+	return sim.Dur(done)
+}
+
+func fig7(quick bool) string {
+	out := header("Figure 7: time to transfer 2 KB vs number of messages")
+	counts := []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
+	t := NewTable("messages", "Anton 1 hop (us)", "Anton 4 hops (us)", "InfiniBand (us)",
+		"A1 norm", "A4 norm", "IB norm")
+	var base1, base4, baseIB sim.Dur
+	for i, n := range counts {
+		a1 := antonTransfer(1, 2048, n)
+		a4 := antonTransfer(4, 2048, n)
+		ib := infinibandTransfer(2048, n)
+		if i == 0 {
+			base1, base4, baseIB = a1, a4, ib
+		}
+		t.Row(n,
+			fmt.Sprintf("%.2f", a1.Us()), fmt.Sprintf("%.2f", a4.Us()), fmt.Sprintf("%.2f", ib.Us()),
+			fmt.Sprintf("%.2f", float64(a1)/float64(base1)),
+			fmt.Sprintf("%.2f", float64(a4)/float64(base4)),
+			fmt.Sprintf("%.2f", float64(ib)/float64(baseIB)))
+	}
+	out += t.String()
+	out += "\npaper: on Anton the message count barely matters (normalized ~1-2 at 64\n" +
+		"messages); on InfiniBand the 64-message transfer costs ~8x the single message\n"
+	return out
+}
+
+func halfbw(quick bool) string {
+	model := noc.DefaultModel()
+	out := header("Half-bandwidth message size (Section III.D)")
+	peak := 256.0 * 8 / model.LinkService(288).Ns()
+	t := NewTable("payload (B)", "payload bandwidth (Gbit/s)", "% of peak")
+	half := 0
+	for _, s := range []int{4, 8, 16, 24, 28, 32, 48, 64, 96, 128, 192, 256} {
+		wire := packet.HeaderBytes + s
+		if s <= packet.InlineBytes {
+			wire = packet.HeaderBytes
+		}
+		bw := float64(s) * 8 / model.LinkService(wire).Ns()
+		if half == 0 && bw >= peak/2 {
+			half = s
+		}
+		t.Row(s, fmt.Sprintf("%.1f", bw), fmt.Sprintf("%.0f%%", 100*bw/peak))
+	}
+	out += t.String()
+	out += fmt.Sprintf("\nhalf of the %.1f Gbit/s peak data bandwidth is reached at %d-byte messages\n", peak, half)
+	out += "paper: 50% of peak at 28-byte messages on Anton, versus 1.4 KB (Blue Gene/L),\n" +
+		"16 KB (Red Storm) and 39 KB (ASC Purple) on contemporary supercomputers\n"
+	return out
+}
+
+func init() {
+	register(Experiment{ID: "fig7", Title: "2KB transfer vs message count", Run: fig7})
+	register(Experiment{ID: "halfbw", Title: "half-bandwidth message size", Run: halfbw})
+}

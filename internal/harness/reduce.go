@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+
+	"anton/internal/cluster"
+	"anton/internal/collective"
+	"anton/internal/machine"
+	"anton/internal/mdmap"
+	"anton/internal/noc"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// antonAllReduce measures one dimension-ordered global all-reduce on a
+// fresh machine of the given torus.
+func antonAllReduce(tor topo.Torus, bytes int) sim.Dur {
+	s := sim.New()
+	m := machine.New(s, tor, noc.DefaultModel())
+	ar := collective.NewAllReduce(m, collective.DefaultConfig(bytes))
+	var done sim.Time
+	ar.Run(nil, func(at sim.Time) { done = at })
+	s.Run()
+	return sim.Dur(done)
+}
+
+func table2(quick bool) string {
+	out := header("Table 2: global all-reduce times for various Anton configurations")
+	configs := []struct {
+		tor   topo.Torus
+		paper [2]float64 // 0B, 32B published us
+	}{
+		{topo.NewTorus(8, 8, 16), [2]float64{1.56, 2.06}},
+		{topo.NewTorus(8, 8, 8), [2]float64{1.32, 1.77}},
+		{topo.NewTorus(8, 8, 4), [2]float64{1.27, 1.68}},
+		{topo.NewTorus(8, 2, 8), [2]float64{1.24, 1.64}},
+		{topo.NewTorus(4, 4, 4), [2]float64{0.96, 1.31}},
+	}
+	t := NewTable("nodes (torus)", "0B reduce (us)", "paper", "32B reduce (us)", "paper")
+	for _, c := range configs {
+		z := antonAllReduce(c.tor, 0)
+		w := antonAllReduce(c.tor, 32)
+		t.Row(fmt.Sprintf("%d (%v)", c.tor.Nodes(), c.tor),
+			fmt.Sprintf("%.2f", z.Us()), fmt.Sprintf("%.2f", c.paper[0]),
+			fmt.Sprintf("%.2f", w.Us()), fmt.Sprintf("%.2f", c.paper[1]))
+	}
+	out += t.String()
+
+	// The comparisons of Section IV.B.4.
+	anton512 := antonAllReduce(topo.NewTorus(8, 8, 8), 32)
+	s := sim.New()
+	ib := cluster.New(s, 512, cluster.DDR2InfiniBand())
+	var ibDone sim.Time
+	ib.AllReduce(32, func(at sim.Time) { ibDone = at })
+	s.Run()
+	out += fmt.Sprintf("\n512-node 32B all-reduce: Anton %.2f us, InfiniBand cluster %.1f us -> %.0fx speedup (paper: 1.77 vs 35.5, 20x)\n",
+		anton512.Us(), sim.Dur(ibDone).Us(), float64(ibDone)/float64(anton512))
+	out += fmt.Sprintf("Blue Gene/L 512-node 16B tree-network all-reduce (published): 4.22 us -> Anton is %.1fx faster\n",
+		4.22/anton512.Us())
+	return out
+}
+
+func migsync(quick bool) string {
+	out := header("Migration synchronization step (Section IV.B.5)")
+	s := sim.New()
+	m := machine.Default512(s)
+	d := mdmap.MeasureMigrationSync(m)
+	out += fmt.Sprintf("in-order multicast write to all 26 nearest neighbours, all nodes\nsimultaneously: %.2f us (paper: 0.56 us)\n", d.Us())
+	return out
+}
+
+func init() {
+	register(Experiment{ID: "table2", Title: "global all-reduce times", Run: table2})
+	register(Experiment{ID: "migsync", Title: "migration synchronization step", Run: migsync})
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	"anton/internal/machine"
+	"anton/internal/mdmap"
+	"anton/internal/noc"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// scaling reproduces the paper's framing claim rather than a specific
+// figure: strong scaling of a fixed-size MD problem is limited by
+// communication latency, not compute throughput. The same 23,558-atom
+// system is mapped onto machines from 64 to 512 nodes; per-node compute
+// shrinks 8x while the communication share of the step grows.
+func scaling(quick bool) string {
+	out := header("Strong scaling: fixed 23,558-atom system vs machine size")
+	// The distributed FFT requires cubic machines, so the sweep doubles
+	// the torus side: 8, 64, 512 nodes with a matching grid resolution.
+	configs := []struct {
+		tor   topo.Torus
+		gridN int
+	}{
+		{topo.NewTorus(2, 2, 2), 8},
+		{topo.NewTorus(4, 4, 4), 16},
+		{topo.NewTorus(8, 8, 8), 32},
+	}
+	t := NewTable("nodes", "avg step (us)", "comm (us)", "comm share", "atoms/node")
+	type point struct {
+		nodes       int
+		total, comm sim.Dur
+	}
+	var pts []point
+	for _, c := range configs {
+		tor := c.tor
+		s := sim.New()
+		m := machine.New(s, tor, noc.DefaultModel())
+		cfg := mdmap.DefaultConfig()
+		cfg.MigrationInterval = 0
+		cfg.GridN = c.gridN
+		mp := mdmap.New(s, m, cfg)
+		rl := mp.RunStep()
+		lr := mp.RunStep()
+		total := (rl.Total + lr.Total) / 2
+		comm := (rl.Comm + lr.Comm) / 2
+		pts = append(pts, point{tor.Nodes(), total, comm})
+		t.Row(fmt.Sprintf("%d (%v)", tor.Nodes(), tor),
+			fmt.Sprintf("%.2f", total.Us()),
+			fmt.Sprintf("%.2f", comm.Us()),
+			fmt.Sprintf("%.0f%%", 100*float64(comm)/float64(total)),
+			23558/tor.Nodes())
+	}
+	out += t.String()
+	speedup := float64(pts[0].total) / float64(pts[len(pts)-1].total)
+	out += fmt.Sprintf("\n64x more nodes yields %.1fx speedup: the residual is almost entirely\n"+
+		"communication latency, the effect the paper's Introduction describes\n", speedup)
+	return out
+}
+
+func init() {
+	register(Experiment{ID: "scaling", Title: "strong scaling of a fixed problem", Run: scaling})
+}

@@ -1,0 +1,380 @@
+// Package machine assembles the event-driven model of an Anton machine: a
+// three-dimensional torus of nodes, each containing four processing slices,
+// a high-throughput interaction subsystem (HTIS), and two accumulation
+// memories, all of which are network clients with local memories that
+// directly accept write packets issued by other clients.
+//
+// The model reproduces, at packet granularity, the communication behaviour
+// the paper measures: counted remote writes with synchronization counters,
+// accumulation packets, hardware multicast via per-node lookup tables,
+// the per-slice message FIFO with backpressure, selective in-order
+// delivery, cut-through routing with per-hop latencies calibrated from
+// Figure 6, and bandwidth contention on links, injection ports, and
+// delivery ports.
+package machine
+
+import (
+	"fmt"
+
+	"anton/internal/noc"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// Machine is a simulated Anton machine.
+type Machine struct {
+	Sim   *sim.Sim
+	Torus topo.Torus
+	Model noc.Model
+
+	nodes []*Node
+
+	// ord implements the software-controlled header flag that selectively
+	// guarantees in-order delivery between fixed source-destination pairs:
+	// flagged packets commit strictly in send order per pair, whatever
+	// their sizes or routes.
+	ord     map[pairKey]*ordState
+	sendSeq uint64
+
+	// OnDeliver, if non-nil, is invoked at the simulated instant a packet
+	// becomes available to software at dst (after counter increment).
+	OnDeliver func(pkt *packet.Packet, dst packet.Client, at sim.Time)
+	// OnSend, if non-nil, is invoked at the simulated instant a client's
+	// injection of a packet begins.
+	OnSend func(pkt *packet.Packet, at sim.Time)
+	// OnLink, if non-nil, is invoked when a packet begins occupying node
+	// n's outgoing link on port p for the given service time. Used by the
+	// logic-analyzer tracing of Figure 13.
+	OnLink func(n topo.NodeID, p topo.Port, start sim.Time, service sim.Dur)
+
+	stats Stats
+}
+
+type pairKey struct {
+	src, dst packet.Client
+}
+
+// ordState is the per-pair in-order bookkeeping: tickets are issued in
+// send order; a flagged packet commits only after every earlier flagged
+// packet on the same pair has committed.
+type ordState struct {
+	idx       map[uint64]int // packet Seq -> ticket
+	issued    int
+	committed int
+	lastAt    sim.Time
+	pending   map[int]ordPending
+}
+
+type ordPending struct {
+	avail sim.Time
+	fn    func()
+}
+
+func (m *Machine) ordStateFor(key pairKey) *ordState {
+	st, ok := m.ord[key]
+	if !ok {
+		st = &ordState{idx: make(map[uint64]int), pending: make(map[int]ordPending)}
+		m.ord[key] = st
+	}
+	return st
+}
+
+// ticket registers pkt (already carrying its send Seq) for in-order
+// delivery to dst.
+func (m *Machine) ticket(pkt *packet.Packet, dst packet.Client) {
+	st := m.ordStateFor(pairKey{pkt.Src, dst})
+	st.idx[pkt.Seq] = st.issued
+	st.issued++
+}
+
+// commitInOrder schedules fn no earlier than avail and no earlier than
+// every previously sent in-order packet's commit on the same pair.
+func (m *Machine) commitInOrder(pkt *packet.Packet, dst packet.Client, avail sim.Time, fn func()) {
+	st := m.ordStateFor(pairKey{pkt.Src, dst})
+	ticket, ok := st.idx[pkt.Seq]
+	if !ok {
+		panic("machine: in-order packet without a ticket")
+	}
+	delete(st.idx, pkt.Seq)
+	st.pending[ticket] = ordPending{avail: avail, fn: fn}
+	for {
+		p, ready := st.pending[st.committed]
+		if !ready {
+			return
+		}
+		delete(st.pending, st.committed)
+		st.committed++
+		at := p.avail
+		if at < st.lastAt {
+			at = st.lastAt
+		}
+		if now := m.Sim.Now(); at < now {
+			at = now
+		}
+		st.lastAt = at
+		m.Sim.At(at, p.fn)
+	}
+}
+
+// Node is one Anton ASIC: seven network clients, six torus link ports, and
+// a multicast lookup table.
+type Node struct {
+	ID    topo.NodeID
+	Coord topo.Coord
+
+	m       *Machine
+	links   [6]*sim.Resource
+	mc      *packet.McTable
+	clients [packet.NumClients]*Client
+}
+
+// New constructs a machine with the given torus dimensions and timing
+// model.
+func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
+	m := &Machine{
+		Sim:   s,
+		Torus: t,
+		Model: model,
+		ord:   make(map[pairKey]*ordState),
+	}
+	m.nodes = make([]*Node, t.Nodes())
+	for id := range m.nodes {
+		n := &Node{
+			ID:    topo.NodeID(id),
+			Coord: t.Coord(topo.NodeID(id)),
+			m:     m,
+			mc:    packet.NewMcTable(),
+		}
+		for p := range n.links {
+			n.links[p] = sim.NewResource(s)
+		}
+		for k := packet.ClientKind(0); k < packet.NumClients; k++ {
+			n.clients[k] = newClient(m, packet.Client{Node: n.ID, Kind: k})
+		}
+		m.nodes[id] = n
+	}
+	return m
+}
+
+// Default512 constructs an 8x8x8 (512-node) machine with the paper's
+// default timing model, the configuration most of the paper's measurements
+// use.
+func Default512(s *sim.Sim) *Machine {
+	return New(s, topo.NewTorus(8, 8, 8), noc.DefaultModel())
+}
+
+// Node returns the node with the given ID.
+func (m *Machine) Node(id topo.NodeID) *Node { return m.nodes[id] }
+
+// NodeAt returns the node at coordinate c (wrapped).
+func (m *Machine) NodeAt(c topo.Coord) *Node { return m.nodes[m.Torus.ID(c)] }
+
+// Client returns the client state addressed by c.
+func (m *Machine) Client(c packet.Client) *Client {
+	return m.nodes[c.Node].clients[c.Kind]
+}
+
+// Stats returns a snapshot of the machine's traffic statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the traffic statistics (link busy-time accumulators in
+// the resources are not reset).
+func (m *Machine) ResetStats() { m.stats = Stats{perNode: m.stats.perNode}; m.stats.reset() }
+
+// SetMulticast installs multicast pattern id in node n's lookup table.
+// Patterns must be installed on every node a multicast packet can visit;
+// Lookup misses panic, as they indicate a software configuration bug.
+func (m *Machine) SetMulticast(n topo.NodeID, id packet.MulticastID, e packet.McEntry) {
+	m.nodes[n].mc.Set(id, e)
+}
+
+// LinkBusy returns the accumulated busy time of node n's outgoing link on
+// port p.
+func (m *Machine) LinkBusy(n topo.NodeID, p topo.Port) sim.Dur {
+	return m.nodes[n].links[topo.PortIndex(p)].BusyTime()
+}
+
+// send is the injection path shared by the Client send helpers.
+func (m *Machine) send(src *Client, pkt *packet.Packet) {
+	if err := pkt.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: %v", err))
+	}
+	pkt.Src = src.Addr
+	m.sendSeq++
+	pkt.Seq = m.sendSeq
+	if pkt.InOrder {
+		// Issue per-destination tickets in program order; multicast
+		// destinations are resolved by walking the installed tables.
+		if pkt.Multicast != packet.NoMulticast {
+			for _, dst := range m.resolveMulticast(src.Addr.Node, pkt.Multicast) {
+				m.ticket(pkt, dst)
+			}
+		} else {
+			m.ticket(pkt, pkt.Dst)
+		}
+	}
+	model := &m.Model
+	gap := model.SendGap(src.Addr.Kind)
+	lat := model.SendLatency(src.Addr.Kind)
+	src.send.Acquire(gap, func(start sim.Time) {
+		if m.OnSend != nil {
+			m.OnSend(pkt, start)
+		}
+		m.stats.send(src.Addr.Node, pkt.WireBytes())
+		inject := start.Add(lat)
+		node := m.nodes[src.Addr.Node]
+		if pkt.Multicast != packet.NoMulticast {
+			m.multicastAt(pkt, node, inject, true)
+			return
+		}
+		if pkt.Dst.Node == src.Addr.Node {
+			// Node-local delivery travels the on-chip ring only.
+			m.deliverLocal(pkt, node.clients[pkt.Dst.Kind], inject.Add(model.LocalRing))
+			return
+		}
+		route := m.Torus.Route(node.Coord, m.Torus.Coord(pkt.Dst.Node))
+		m.forward(pkt, node, route, 0, inject.Add(model.SrcRing))
+	})
+}
+
+// forward transmits pkt across route[step:]; head is the time the packet
+// header reaches the egress side of node's on-chip network for this hop.
+func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, step int, head sim.Time) {
+	model := &m.Model
+	hop := route[step]
+	link := node.links[topo.PortIndex(hop.Port)]
+	service := model.LinkService(pkt.WireBytes())
+	m.Sim.At(head, func() {
+		link.Acquire(service, func(start sim.Time) {
+			if m.OnLink != nil {
+				m.OnLink(node.ID, hop.Port, start, service)
+			}
+			arrival := start.Add(model.AdapterPair[hop.Port.Dim])
+			next := m.nodes[m.Torus.ID(hop.To)]
+			if step == len(route)-1 {
+				avail := arrival.Add(model.ExtraSerialization(pkt.WireBytes()) + model.DstRing)
+				m.deliverLocal(pkt, next.clients[pkt.Dst.Kind], avail)
+				return
+			}
+			nextDim := route[step+1].Port.Dim
+			m.forward(pkt, next, route, step+1, arrival.Add(model.Through[nextDim]))
+		})
+	})
+}
+
+// multicastAt performs the per-node multicast table lookup and fans the
+// packet out to local clients and outgoing links. atSource distinguishes
+// the injecting node (ring traversal from the sending client) from transit
+// nodes (ring traversal from the arriving link adapter).
+func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atSource bool) {
+	model := &m.Model
+	entry, ok := node.mc.Lookup(pkt.Multicast)
+	if !ok {
+		panic(fmt.Sprintf("machine: multicast pattern %d not installed on node %d", pkt.Multicast, node.ID))
+	}
+	for _, kind := range entry.Local {
+		var avail sim.Time
+		if atSource {
+			avail = base.Add(model.LocalRing)
+		} else {
+			avail = base.Add(model.ExtraSerialization(pkt.WireBytes()) + model.DstRing)
+		}
+		// Each delivery is a distinct logical packet so that counters,
+		// stats and hooks see per-destination events.
+		cp := *pkt
+		cp.Dst = packet.Client{Node: node.ID, Kind: kind}
+		m.deliverLocal(&cp, node.clients[kind], avail)
+	}
+	for _, port := range entry.Out {
+		var head sim.Time
+		if atSource {
+			head = base.Add(model.SrcRing)
+		} else {
+			head = base.Add(model.Through[port.Dim])
+		}
+		port := port
+		link := node.links[topo.PortIndex(port)]
+		service := model.LinkService(pkt.WireBytes())
+		m.Sim.At(head, func() {
+			link.Acquire(service, func(start sim.Time) {
+				if m.OnLink != nil {
+					m.OnLink(node.ID, port, start, service)
+				}
+				arrival := start.Add(model.AdapterPair[port.Dim])
+				next := m.nodes[m.Torus.ID(m.Torus.Neighbor(node.Coord, port))]
+				m.multicastAt(pkt, next, arrival, false)
+			})
+		})
+	}
+}
+
+// deliverLocal schedules the final delivery of pkt into client dst: the
+// receive-port occupancy, memory/FIFO update, counter increment, and the
+// availability instant software observes.
+func (m *Machine) deliverLocal(pkt *packet.Packet, dst *Client, at sim.Time) {
+	model := &m.Model
+	service := model.ClientService(dst.Addr.Kind, pkt.WireBytes())
+	m.Sim.At(at, func() {
+		dst.recv.Acquire(service, func(start sim.Time) {
+			avail := start.Add(model.DeliverLatency(dst.Addr.Kind))
+			if pkt.InOrder {
+				m.commitInOrder(pkt, dst.Addr, avail, func() { m.commit(pkt, dst) })
+				return
+			}
+			m.Sim.At(avail, func() { m.commit(pkt, dst) })
+		})
+	})
+}
+
+// resolveMulticast walks the installed multicast tables from node n and
+// returns every destination client pattern id reaches, in deterministic
+// (BFS) order.
+func (m *Machine) resolveMulticast(n topo.NodeID, id packet.MulticastID) []packet.Client {
+	var out []packet.Client
+	visited := map[topo.NodeID]bool{}
+	queue := []topo.NodeID{n}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if visited[cur] {
+			continue
+		}
+		visited[cur] = true
+		entry, ok := m.nodes[cur].mc.Lookup(id)
+		if !ok {
+			panic(fmt.Sprintf("machine: multicast pattern %d not installed on node %d", id, cur))
+		}
+		for _, kind := range entry.Local {
+			out = append(out, packet.Client{Node: cur, Kind: kind})
+		}
+		for _, port := range entry.Out {
+			queue = append(queue, m.Torus.ID(m.Torus.Neighbor(m.nodes[cur].Coord, port)))
+		}
+	}
+	return out
+}
+
+// commit applies pkt's effect to dst at the current simulated time.
+func (m *Machine) commit(pkt *packet.Packet, dst *Client) {
+	switch pkt.Kind {
+	case packet.Write:
+		dst.storeWrite(pkt)
+		dst.counter(pkt.Counter).Inc()
+	case packet.Accumulate:
+		if !dst.Addr.Kind.IsAccum() {
+			panic(fmt.Sprintf("machine: accumulation packet delivered to %v", dst.Addr))
+		}
+		dst.storeAccumulate(pkt)
+		dst.counter(pkt.Counter).Inc()
+	case packet.Message:
+		if !dst.Addr.Kind.IsSlice() {
+			panic(fmt.Sprintf("machine: FIFO message delivered to %v", dst.Addr))
+		}
+		dst.fifo.deliver(pkt)
+	}
+	m.stats.recv(dst.Addr.Node, pkt.WireBytes())
+	if m.OnDeliver != nil {
+		m.OnDeliver(pkt, dst.Addr, m.Sim.Now())
+	}
+}

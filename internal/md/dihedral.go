@@ -1,0 +1,63 @@
+package md
+
+import "math"
+
+// Dihedral is a periodic torsion over atoms I-J-K-L:
+// V = K*(1 + cos(n*phi - phi0)), with phi the angle between the IJK and
+// JKL planes. Torsions appear in the protein-like chain molecules the
+// builder can embed in the solvent (the paper's DHFR system is a protein
+// surrounded by water).
+type Dihedral struct {
+	I, J, K, L int
+	K_         float64 // force constant
+	N          int     // periodicity
+	Phi0       float64 // phase
+}
+
+// DihedralForces accumulates torsion forces into s.Frc and returns the
+// torsion energy. The gradient follows the standard formulation via the
+// plane normals.
+func (s *System) DihedralForces() float64 {
+	var e float64
+	for _, d := range s.Dihedrals {
+		b1 := s.MinImage(s.Pos[d.J], s.Pos[d.I])
+		b2 := s.MinImage(s.Pos[d.K], s.Pos[d.J])
+		b3 := s.MinImage(s.Pos[d.L], s.Pos[d.K])
+
+		n1 := b1.Cross(b2) // normal of plane IJK
+		n2 := b2.Cross(b3) // normal of plane JKL
+		n1sq, n2sq := n1.Norm2(), n2.Norm2()
+		b2len := b2.Norm()
+		if n1sq < 1e-12 || n2sq < 1e-12 || b2len < 1e-12 {
+			continue // collinear: torsion undefined
+		}
+		// Signed dihedral angle.
+		cosPhi := clamp(n1.Dot(n2)/math.Sqrt(n1sq*n2sq), -1, 1)
+		sinPhi := n1.Cross(n2).Dot(b2) / (math.Sqrt(n1sq*n2sq) * b2len)
+		phi := math.Atan2(sinPhi, cosPhi)
+
+		e += d.K_ * (1 + math.Cos(float64(d.N)*phi-d.Phi0))
+		// dV/dphi
+		dV := -d.K_ * float64(d.N) * math.Sin(float64(d.N)*phi-d.Phi0)
+
+		// Standard analytic gradient (see e.g. Allen & Tildesley):
+		// dphi/dr_I = -|b2|/|n1|^2 * n1 ; dphi/dr_L = +|b2|/|n2|^2 * n2;
+		// the inner atoms take the remainder, split so that both total
+		// force and torque vanish.
+		g1 := n1.Scale(-b2len / n1sq)
+		g4 := n2.Scale(b2len / n2sq)
+		s1 := b1.Dot(b2) / b2.Norm2()
+		s2 := b3.Dot(b2) / b2.Norm2()
+		g2 := g1.Scale(-(1 + s1)).Add(g4.Scale(s2))
+		g3 := g1.Scale(s1).Sub(g4.Scale(1 + s2))
+
+		fI, fK, fL := g1.Scale(-dV), g3.Scale(-dV), g4.Scale(-dV)
+		s.Frc[d.I] = s.Frc[d.I].Add(fI)
+		s.Frc[d.J] = s.Frc[d.J].Add(g2.Scale(-dV))
+		s.Frc[d.K] = s.Frc[d.K].Add(fK)
+		s.Frc[d.L] = s.Frc[d.L].Add(fL)
+		// Positions relative to atom J (forces sum to zero).
+		s.Virial += fI.Dot(b1.Scale(-1)) + fK.Dot(b2) + fL.Dot(b2.Add(b3))
+	}
+	return e
+}

@@ -1,0 +1,142 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func chainSystem() *System {
+	s := &System{
+		Box: 20,
+		Pos: []Vec3{
+			{5, 5, 5}, {5.9, 5.1, 5.0}, {6.3, 5.9, 5.4}, {7.1, 6.0, 6.1},
+		},
+		Mass:   []float64{1, 1, 1, 1},
+		Charge: []float64{0, 0, 0, 0},
+		Eps:    []float64{0, 0, 0, 0},
+		Sig:    []float64{1, 1, 1, 1},
+		Dihedrals: []Dihedral{
+			{I: 0, J: 1, K: 2, L: 3, K_: 2.5, N: 3, Phi0: 0.4},
+		},
+		Cutoff: 3, Sigma: 1, GridN: 8,
+	}
+	s.Vel = make([]Vec3, 4)
+	s.Frc = make([]Vec3, 4)
+	return s
+}
+
+func TestDihedralForceMatchesFiniteDifference(t *testing.T) {
+	s := chainSystem()
+	checkFiniteDifference(t, s, func() float64 {
+		for i := range s.Frc {
+			s.Frc[i] = Vec3{}
+		}
+		return s.DihedralForces()
+	}, 1e-6, 1e-4)
+}
+
+func TestDihedralForceNewtonThirdLaw(t *testing.T) {
+	s := chainSystem()
+	s.DihedralForces()
+	var total Vec3
+	for _, f := range s.Frc {
+		total = total.Add(f)
+	}
+	if total.Norm() > 1e-10 {
+		t.Fatalf("net dihedral force %v", total)
+	}
+	// Torque about the origin must also vanish.
+	var torque Vec3
+	for i, f := range s.Frc {
+		torque = torque.Add(s.Pos[i].Cross(f))
+	}
+	if torque.Norm() > 1e-9 {
+		t.Fatalf("net dihedral torque %v", torque)
+	}
+}
+
+func TestDihedralEnergyBounds(t *testing.T) {
+	// V = K*(1 + cos(...)) lies in [0, 2K].
+	s := chainSystem()
+	e := s.DihedralForces()
+	if e < 0 || e > 5 {
+		t.Fatalf("dihedral energy %v outside [0, 2K=5]", e)
+	}
+}
+
+func TestDihedralCollinearSkipped(t *testing.T) {
+	s := chainSystem()
+	// Make the four atoms collinear: the torsion is undefined and must be
+	// skipped without NaNs.
+	for i := range s.Pos {
+		s.Pos[i] = Vec3{5 + float64(i), 5, 5}
+	}
+	for i := range s.Frc {
+		s.Frc[i] = Vec3{}
+	}
+	s.DihedralForces()
+	for i, f := range s.Frc {
+		if math.IsNaN(f.X) || math.IsNaN(f.Y) || math.IsNaN(f.Z) {
+			t.Fatalf("NaN force on atom %d", i)
+		}
+	}
+}
+
+func TestBuildWithChains(t *testing.T) {
+	s := Build(Config{Molecules: 10, Chains: 2, ChainLength: 8, Temperature: 0.5, Seed: 3})
+	if s.N() != 2*8+10*3 {
+		t.Fatalf("atoms = %d, want 46", s.N())
+	}
+	if len(s.Dihedrals) != 2*5 {
+		t.Fatalf("dihedrals = %d, want 10", len(s.Dihedrals))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var q float64
+	for _, c := range s.Charge {
+		q += c
+	}
+	if math.Abs(q) > 1e-12 {
+		t.Fatalf("net charge %v", q)
+	}
+	// Chain 1-4 pairs are excluded.
+	if !s.Excluded(0, 3) {
+		t.Fatal("1-4 chain pair not excluded")
+	}
+	if s.Excluded(0, 5) {
+		t.Fatal("1-6 chain pair wrongly excluded")
+	}
+}
+
+func TestChainSystemEnergyConservation(t *testing.T) {
+	s := Build(Config{Molecules: 10, Chains: 1, ChainLength: 6, Temperature: 0.5, Seed: 7})
+	in := NewIntegrator(s, 0.001)
+	in.ComputeForces()
+	if in.E.Dihedral == 0 {
+		t.Fatal("chain system has zero dihedral energy")
+	}
+	e0 := in.TotalEnergy()
+	in.Run(200)
+	drift := math.Abs(in.TotalEnergy()-e0) / math.Max(1, math.Abs(e0))
+	if drift > 5e-3 {
+		t.Fatalf("chain NVE drift %.4f%% (E %v -> %v)", 100*drift, e0, in.TotalEnergy())
+	}
+}
+
+func TestChainTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1-atom chain")
+		}
+	}()
+	Build(Config{Molecules: 1, Chains: 1, ChainLength: 1, Seed: 1})
+}
+
+func TestInvalidDihedralRejected(t *testing.T) {
+	s := Build(Config{Molecules: 2, Seed: 1})
+	s.Dihedrals = append(s.Dihedrals, Dihedral{I: 0, J: 1, K: 2, L: 99})
+	if s.Validate() == nil {
+		t.Fatal("invalid dihedral accepted")
+	}
+}

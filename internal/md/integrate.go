@@ -1,0 +1,157 @@
+package md
+
+import "math"
+
+// Energies is the decomposition of the potential energy after a force
+// evaluation, mirroring the force components of the paper's Figure 2.
+type Energies struct {
+	Bond, Angle, Dihedral float64
+	RangeLimited          float64
+	LongRange             float64
+	Self                  float64
+}
+
+// Potential returns the total potential energy.
+func (e Energies) Potential() float64 {
+	return e.Bond + e.Angle + e.Dihedral + e.RangeLimited + e.LongRange + e.Self
+}
+
+// Integrator advances a System with velocity-Verlet time stepping and an
+// optional Berendsen thermostat driven by the globally reduced kinetic
+// energy — the quantity Anton computes with its all-reduce.
+type Integrator struct {
+	S  *System
+	Dt float64
+
+	// Thermostat enables Berendsen velocity rescaling toward TargetT with
+	// coupling time Tau.
+	Thermostat bool
+	TargetT    float64
+	Tau        float64
+
+	// LongRangeInterval applies the k-space force every k steps (Anton
+	// evaluates long-range interactions every other time step); the forces
+	// are reused in between.
+	LongRangeInterval int
+
+	// BarostatOn enables Berendsen pressure coupling via Baro.
+	BarostatOn bool
+	Baro       Barostat
+
+	gse         *GSE
+	E           Energies
+	step        int
+	lastLong    []Vec3 // cached long-range forces
+	lastLongVir float64
+	haveForce   bool
+}
+
+// NewIntegrator builds an integrator with sensible defaults.
+func NewIntegrator(s *System, dt float64) *Integrator {
+	return &Integrator{
+		S: s, Dt: dt,
+		TargetT: 1.0, Tau: 50 * dt,
+		LongRangeInterval: 1,
+		gse:               NewGSE(s),
+	}
+}
+
+// GSE exposes the long-range machinery (for the parallel mapping).
+func (in *Integrator) GSE() *GSE { return in.gse }
+
+// ComputeForces evaluates all force components into S.Frc and records the
+// energy decomposition. The long-range component is recomputed only every
+// LongRangeInterval steps and cached otherwise.
+func (in *Integrator) ComputeForces() Energies {
+	s := in.S
+	for i := range s.Frc {
+		s.Frc[i] = Vec3{}
+	}
+	s.Virial = 0
+	in.E.Bond = s.BondForces()
+	in.E.Angle = s.AngleForces()
+	in.E.Dihedral = s.DihedralForces()
+	in.E.RangeLimited = s.RangeLimitedForces()
+	interval := in.LongRangeInterval
+	if interval < 1 {
+		interval = 1
+	}
+	if in.step%interval == 0 || in.lastLong == nil {
+		before := append([]Vec3(nil), s.Frc...)
+		in.E.LongRange = in.gse.LongRangeForces()
+		in.lastLongVir = in.gse.Virial()
+		in.lastLong = make([]Vec3, s.N())
+		for i := range s.Frc {
+			in.lastLong[i] = s.Frc[i].Sub(before[i])
+		}
+	} else {
+		for i := range s.Frc {
+			s.Frc[i] = s.Frc[i].Add(in.lastLong[i])
+		}
+		s.Virial += in.lastLongVir
+	}
+	in.E.Self = s.SelfEnergy()
+	in.haveForce = true
+	return in.E
+}
+
+// Step advances the system by one velocity-Verlet step.
+func (in *Integrator) Step() {
+	s := in.S
+	if !in.haveForce {
+		in.ComputeForces()
+	}
+	half := 0.5 * in.Dt
+	for i := range s.Pos {
+		s.Vel[i] = s.Vel[i].Add(s.Frc[i].Scale(half / s.Mass[i]))
+		s.Pos[i] = s.Pos[i].Add(s.Vel[i].Scale(in.Dt))
+	}
+	s.WrapPositions()
+	in.step++
+	in.ComputeForces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(s.Frc[i].Scale(half / s.Mass[i]))
+	}
+	if in.Thermostat {
+		in.applyThermostat()
+	}
+	if in.BarostatOn {
+		if scale := in.Baro.Apply(s); scale != 1 {
+			// The box changed: the grid spacing and Green's function must
+			// follow, and cached long-range forces are stale.
+			in.gse = NewGSE(s)
+			in.lastLong = nil
+		}
+	}
+}
+
+// applyThermostat rescales velocities toward the target temperature. The
+// instantaneous temperature comes from the total kinetic energy, which on
+// Anton requires the global all-reduce of Table 2.
+func (in *Integrator) applyThermostat() {
+	s := in.S
+	T := s.Temperature()
+	if T <= 0 {
+		return
+	}
+	lambda := math.Sqrt(1 + in.Dt/in.Tau*(in.TargetT/T-1))
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(lambda)
+	}
+}
+
+// Run advances n steps.
+func (in *Integrator) Run(n int) {
+	for i := 0; i < n; i++ {
+		in.Step()
+	}
+}
+
+// TotalEnergy returns kinetic plus potential energy of the last force
+// evaluation.
+func (in *Integrator) TotalEnergy() float64 {
+	return in.S.KineticEnergy() + in.E.Potential()
+}
+
+// StepCount returns the number of completed steps.
+func (in *Integrator) StepCount() int { return in.step }

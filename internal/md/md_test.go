@@ -1,0 +1,466 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(Config{Molecules: 20, Temperature: 1, Seed: 7})
+	b := Build(Config{Molecules: 20, Temperature: 1, Seed: 7})
+	if a.N() != 60 || b.N() != 60 {
+		t.Fatalf("atom counts %d %d, want 60", a.N(), b.N())
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("same seed produced different systems")
+		}
+	}
+	c := Build(Config{Molecules: 20, Temperature: 1, Seed: 8})
+	same := true
+	for i := range a.Pos {
+		if a.Pos[i] != c.Pos[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical systems")
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	s := Build(Config{Molecules: 50, Temperature: 1.2, Seed: 1})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Charge neutral.
+	var q float64
+	for _, c := range s.Charge {
+		q += c
+	}
+	if math.Abs(q) > 1e-12 {
+		t.Fatalf("net charge %v", q)
+	}
+	// Zero net momentum.
+	if p := s.Momentum(); p.Norm() > 1e-10 {
+		t.Fatalf("net momentum %v", p)
+	}
+	// Temperature near requested.
+	if T := s.Temperature(); math.Abs(T-1.2) > 0.4 {
+		t.Fatalf("initial temperature %v, want ~1.2", T)
+	}
+	// Bonds and angles per molecule.
+	if len(s.Bonds) != 100 || len(s.Angles) != 50 {
+		t.Fatalf("topology: %d bonds %d angles", len(s.Bonds), len(s.Angles))
+	}
+	// All positions inside the box.
+	for _, p := range s.Pos {
+		if p.X < 0 || p.X >= s.Box || p.Y < 0 || p.Y >= s.Box || p.Z < 0 || p.Z >= s.Box {
+			t.Fatalf("position %v outside box %v", p, s.Box)
+		}
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	s := Build(Config{Molecules: 2, Seed: 3})
+	// Within a molecule (atoms 0,1,2): all pairs excluded (1-2 and 1-3).
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if !s.Excluded(pair[0], pair[1]) {
+			t.Fatalf("pair %v should be excluded", pair)
+		}
+		if !s.Excluded(pair[1], pair[0]) {
+			t.Fatal("exclusion not symmetric")
+		}
+	}
+	// Across molecules: not excluded.
+	if s.Excluded(0, 3) || s.Excluded(2, 5) {
+		t.Fatal("intermolecular pair excluded")
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	s := &System{Box: 10}
+	d := s.MinImage(Vec3{9.5, 0, 0}, Vec3{0.5, 0, 0})
+	if math.Abs(d.X+1) > 1e-12 || d.Y != 0 {
+		t.Fatalf("min image = %v, want (-1,0,0)", d)
+	}
+	d = s.MinImage(Vec3{3, 3, 3}, Vec3{1, 1, 1})
+	if d != (Vec3{2, 2, 2}) {
+		t.Fatalf("min image = %v", d)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) || b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Fatal("add/sub wrong")
+	}
+	if a.Dot(b) != 32 {
+		t.Fatal("dot wrong")
+	}
+	if a.Cross(b) != (Vec3{-3, 6, -3}) {
+		t.Fatal("cross wrong")
+	}
+	if math.Abs(Vec3{3, 4, 0}.Norm()-5) > 1e-15 {
+		t.Fatal("norm wrong")
+	}
+}
+
+// cellPairsEqualBruteForce: the cell list must visit every pair within the
+// cutoff exactly once.
+func TestCellListCompleteAndUnique(t *testing.T) {
+	for _, mol := range []int{4, 30} {
+		s := Build(Config{Molecules: mol, Seed: 11})
+		cl := NewCellList(s)
+		seen := map[[2]int]int{}
+		cl.ForEachPair(func(i, j int) {
+			if i >= j {
+				t.Fatalf("pair (%d,%d) not ordered", i, j)
+			}
+			seen[[2]int{i, j}]++
+		})
+		for pair, n := range seen {
+			if n != 1 {
+				t.Fatalf("pair %v visited %d times", pair, n)
+			}
+		}
+		// Every within-cutoff pair must appear.
+		rc2 := s.Cutoff * s.Cutoff
+		for i := 0; i < s.N(); i++ {
+			for j := i + 1; j < s.N(); j++ {
+				if s.MinImage(s.Pos[i], s.Pos[j]).Norm2() < rc2 {
+					if seen[[2]int{i, j}] == 0 {
+						t.Fatalf("within-cutoff pair (%d,%d) missed", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBondForceMatchesFiniteDifference(t *testing.T) {
+	s := &System{
+		Box:    20,
+		Pos:    []Vec3{{5, 5, 5}, {5.9, 5.1, 4.8}},
+		Mass:   []float64{1, 1},
+		Charge: []float64{0, 0},
+		Eps:    []float64{0, 0},
+		Sig:    []float64{1, 1},
+		Bonds:  []Bond{{I: 0, J: 1, K: 10, R0: 0.8}},
+		Cutoff: 3, Sigma: 1, GridN: 8,
+	}
+	s.Vel = make([]Vec3, 2)
+	s.Frc = make([]Vec3, 2)
+	checkFiniteDifference(t, s, func() float64 {
+		for i := range s.Frc {
+			s.Frc[i] = Vec3{}
+		}
+		return s.BondForces()
+	}, 1e-5, 1e-4)
+}
+
+func TestAngleForceMatchesFiniteDifference(t *testing.T) {
+	s := &System{
+		Box:    20,
+		Pos:    []Vec3{{5.8, 5, 5}, {5, 5, 5}, {5.2, 5.7, 5.1}},
+		Mass:   []float64{1, 1, 1},
+		Charge: []float64{0, 0, 0},
+		Eps:    []float64{0, 0, 0},
+		Sig:    []float64{1, 1, 1},
+		Angles: []Angle{{I: 0, J: 1, K: 2, KTheta: 5, Theta0: 1.9}},
+		Cutoff: 3, Sigma: 1, GridN: 8,
+	}
+	s.Vel = make([]Vec3, 3)
+	s.Frc = make([]Vec3, 3)
+	checkFiniteDifference(t, s, func() float64 {
+		for i := range s.Frc {
+			s.Frc[i] = Vec3{}
+		}
+		return s.AngleForces()
+	}, 1e-5, 1e-4)
+}
+
+func TestRangeLimitedForceMatchesFiniteDifference(t *testing.T) {
+	s := Build(Config{Molecules: 8, Seed: 5})
+	checkFiniteDifference(t, s, func() float64 {
+		for i := range s.Frc {
+			s.Frc[i] = Vec3{}
+		}
+		return s.RangeLimitedForces()
+	}, 1e-6, 2e-3)
+}
+
+func TestLongRangeForceMatchesFiniteDifference(t *testing.T) {
+	s := Build(Config{Molecules: 8, Seed: 6, GridN: 16})
+	g := NewGSE(s)
+	checkFiniteDifference(t, s, func() float64 {
+		for i := range s.Frc {
+			s.Frc[i] = Vec3{}
+		}
+		return g.LongRangeForces()
+	}, 1e-5, 2e-3)
+}
+
+// checkFiniteDifference verifies that the force on a few random atoms
+// equals the negative gradient of the energy function.
+func checkFiniteDifference(t *testing.T, s *System, energy func() float64, h, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	energy() // fill forces
+	forces := append([]Vec3(nil), s.Frc...)
+	for trial := 0; trial < 4; trial++ {
+		i := rng.Intn(s.N())
+		for axis := 0; axis < 3; axis++ {
+			orig := s.Pos[i]
+			bump := Vec3{}
+			switch axis {
+			case 0:
+				bump.X = h
+			case 1:
+				bump.Y = h
+			case 2:
+				bump.Z = h
+			}
+			s.Pos[i] = orig.Add(bump)
+			ePlus := energy()
+			s.Pos[i] = orig.Sub(bump)
+			eMinus := energy()
+			s.Pos[i] = orig
+			grad := (ePlus - eMinus) / (2 * h)
+			var f float64
+			switch axis {
+			case 0:
+				f = forces[i].X
+			case 1:
+				f = forces[i].Y
+			case 2:
+				f = forces[i].Z
+			}
+			if math.Abs(f+grad) > tol*math.Max(1, math.Abs(f)) {
+				t.Fatalf("atom %d axis %d: force %v, -dE/dx %v", i, axis, f, -grad)
+			}
+		}
+	}
+	energy() // restore force state
+}
+
+func TestGSEMatchesReferenceEwald(t *testing.T) {
+	// The grid-based k-space energy must match the direct structure-factor
+	// Ewald sum.
+	s := Build(Config{Molecules: 12, Seed: 13, GridN: 16})
+	g := NewGSE(s)
+	for i := range s.Frc {
+		s.Frc[i] = Vec3{}
+	}
+	grid := g.LongRangeForces()
+	ref := s.ReferenceRecipEnergy(8)
+	if math.Abs(grid-ref) > 2e-2*math.Abs(ref) {
+		t.Fatalf("GSE k-space energy %v, reference Ewald %v", grid, ref)
+	}
+}
+
+func TestCoulombTwoChargesSanity(t *testing.T) {
+	// Two opposite charges 2 apart in a large box: the total Ewald energy
+	// (real + recip + self + exclusion handling) approximates the direct
+	// -q^2/r interaction.
+	s := &System{
+		Box:    24,
+		Pos:    []Vec3{{12, 12, 12}, {14, 12, 12}},
+		Vel:    make([]Vec3, 2),
+		Mass:   []float64{1, 1},
+		Charge: []float64{1, -1},
+		Eps:    []float64{0, 0},
+		Sig:    []float64{1, 1},
+		Cutoff: 6, Sigma: 1, GridN: 32,
+	}
+	s.Frc = make([]Vec3, 2)
+	s.BuildExclusions()
+	g := NewGSE(s)
+	eReal := s.RangeLimitedForces()
+	eK := g.LongRangeForces()
+	total := eReal + eK + s.SelfEnergy()
+	direct := s.DirectCoulombEnergy()
+	if math.Abs(total-direct) > 0.02 {
+		t.Fatalf("Ewald total %v, direct %v", total, direct)
+	}
+}
+
+func TestReferenceCoulombMatchesPipeline(t *testing.T) {
+	s := Build(Config{Molecules: 10, Seed: 17, GridN: 16})
+	// Zero LJ so only Coulomb remains in the range-limited part.
+	for i := range s.Eps {
+		s.Eps[i] = 0
+	}
+	for i := range s.Frc {
+		s.Frc[i] = Vec3{}
+	}
+	g := NewGSE(s)
+	pipeline := s.RangeLimitedForces() + g.LongRangeForces() + s.SelfEnergy()
+	ref := s.ReferenceCoulombEnergy(8)
+	if math.Abs(pipeline-ref) > 2e-2*math.Max(1, math.Abs(ref)) {
+		t.Fatalf("pipeline Coulomb %v, reference %v", pipeline, ref)
+	}
+}
+
+func TestForcesSumToZero(t *testing.T) {
+	s := Build(Config{Molecules: 25, Seed: 19})
+	in := NewIntegrator(s, 0.002)
+	in.ComputeForces()
+	var total Vec3
+	for _, f := range s.Frc {
+		total = total.Add(f)
+	}
+	if total.Norm() > 1e-6 {
+		t.Fatalf("net force %v, want ~0 (Newton's third law)", total)
+	}
+}
+
+func TestNVEEnergyConservation(t *testing.T) {
+	s := Build(Config{Molecules: 16, Temperature: 0.8, Seed: 23})
+	in := NewIntegrator(s, 0.001)
+	in.ComputeForces()
+	e0 := in.TotalEnergy()
+	in.Run(200)
+	e1 := in.TotalEnergy()
+	drift := math.Abs(e1-e0) / math.Max(1, math.Abs(e0))
+	if drift > 5e-3 {
+		t.Fatalf("NVE energy drift %.4f%% over 200 steps (E %v -> %v)", 100*drift, e0, e1)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	s := Build(Config{Molecules: 16, Temperature: 0.8, Seed: 29})
+	in := NewIntegrator(s, 0.001)
+	in.Run(100)
+	// Grid-based electrostatics leaves a tiny discretization residue, as
+	// in any PME-style method; the drift must stay negligible.
+	if p := s.Momentum(); p.Norm() > 1e-6 {
+		t.Fatalf("momentum drifted to %v", p)
+	}
+}
+
+func TestThermostatDrivesTemperature(t *testing.T) {
+	s := Build(Config{Molecules: 24, Temperature: 2.0, Seed: 31})
+	in := NewIntegrator(s, 0.002)
+	in.Thermostat = true
+	in.TargetT = 0.8
+	in.Tau = 0.02
+	in.Run(300)
+	if T := s.Temperature(); math.Abs(T-0.8) > 0.25 {
+		t.Fatalf("temperature %v after thermostatting toward 0.8", T)
+	}
+}
+
+func TestLongRangeIntervalCaching(t *testing.T) {
+	// Evaluating long-range forces every other step (Anton's schedule)
+	// must stay close to the every-step trajectory over a short run.
+	a := Build(Config{Molecules: 12, Temperature: 0.5, Seed: 37})
+	b := Build(Config{Molecules: 12, Temperature: 0.5, Seed: 37})
+	ia := NewIntegrator(a, 0.001)
+	ib := NewIntegrator(b, 0.001)
+	ib.LongRangeInterval = 2
+	ia.Run(50)
+	ib.Run(50)
+	var maxDev float64
+	for i := range a.Pos {
+		if d := a.MinImage(a.Pos[i], b.Pos[i]).Norm(); d > maxDev {
+			maxDev = d
+		}
+	}
+	if maxDev > 0.05 {
+		t.Fatalf("interval-2 trajectory deviates by %v", maxDev)
+	}
+	// And it must still roughly conserve energy.
+	e0 := ib.TotalEnergy()
+	ib.Run(100)
+	drift := math.Abs(ib.TotalEnergy()-e0) / math.Max(1, math.Abs(e0))
+	if drift > 1e-2 {
+		t.Fatalf("interval-2 energy drift %.4f%%", 100*drift)
+	}
+}
+
+func TestPairCountGrowsWithDensity(t *testing.T) {
+	sparse := Build(Config{Molecules: 20, Box: 40, Seed: 41})
+	dense := Build(Config{Molecules: 20, Box: 12, Seed: 41})
+	if sparse.PairCountWithinCutoff() >= dense.PairCountWithinCutoff() {
+		t.Fatal("denser system should have more range-limited pairs")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	s := Build(Config{Molecules: 2, Seed: 1})
+	s.Bonds = append(s.Bonds, Bond{I: 0, J: 99})
+	if s.Validate() == nil {
+		t.Fatal("invalid bond accepted")
+	}
+	s = Build(Config{Molecules: 2, Seed: 1})
+	s.Cutoff = s.Box
+	if s.Validate() == nil {
+		t.Fatal("oversized cutoff accepted")
+	}
+}
+
+func BenchmarkForces100Molecules(b *testing.B) {
+	s := Build(Config{Molecules: 100, Temperature: 1, Seed: 1})
+	in := NewIntegrator(s, 0.002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ComputeForces()
+	}
+}
+
+// Properties of the Vec3 algebra, checked with testing/quick.
+func TestVec3Properties(t *testing.T) {
+	toVec := func(a, b, c int16) Vec3 {
+		return Vec3{float64(a) / 64, float64(b) / 64, float64(c) / 64}
+	}
+	// The cross product is orthogonal to both operands.
+	orth := func(a1, a2, a3, b1, b2, b3 int16) bool {
+		a, b := toVec(a1, a2, a3), toVec(b1, b2, b3)
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6 && math.Abs(c.Dot(b)) < 1e-6
+	}
+	if err := quick.Check(orth, nil); err != nil {
+		t.Error(err)
+	}
+	// |a x b|^2 + (a.b)^2 = |a|^2 |b|^2 (Lagrange identity).
+	lagrange := func(a1, a2, a3, b1, b2, b3 int16) bool {
+		a, b := toVec(a1, a2, a3), toVec(b1, b2, b3)
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		return math.Abs(lhs-rhs) < 1e-4*(1+rhs)
+	}
+	if err := quick.Check(lagrange, nil); err != nil {
+		t.Error(err)
+	}
+	// Scaling is linear in the norm.
+	scale := func(a1, a2, a3, s int16) bool {
+		a := toVec(a1, a2, a3)
+		k := float64(s) / 64
+		return math.Abs(a.Scale(k).Norm()-math.Abs(k)*a.Norm()) < 1e-6
+	}
+	if err := quick.Check(scale, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the minimum image displacement never exceeds half the box
+// diagonal and is antisymmetric.
+func TestMinImageProperties(t *testing.T) {
+	s := &System{Box: 10}
+	f := func(ax, ay, az, bx, by, bz uint16) bool {
+		a := Vec3{float64(ax%1000) / 50, float64(ay%1000) / 50, float64(az%1000) / 50}
+		b := Vec3{float64(bx%1000) / 50, float64(by%1000) / 50, float64(bz%1000) / 50}
+		d := s.MinImage(a, b)
+		if math.Abs(d.X) > 5+1e-9 || math.Abs(d.Y) > 5+1e-9 || math.Abs(d.Z) > 5+1e-9 {
+			return false
+		}
+		r := s.MinImage(b, a)
+		return math.Abs(d.X+r.X) < 1e-9 || math.Abs(math.Abs(d.X+r.X)-10) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

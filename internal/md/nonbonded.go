@@ -1,0 +1,180 @@
+package md
+
+import "math"
+
+// CellList is a spatial binning of atoms used to enumerate range-limited
+// pairs in O(N). It is the sequential counterpart of Anton's spatial
+// decomposition: each cell corresponds to a home-box-like region.
+type CellList struct {
+	n     int     // cells per dimension
+	size  float64 // cell side
+	box   float64
+	cells [][]int
+}
+
+// NewCellList bins the atoms of s into cells of side >= cutoff.
+func NewCellList(s *System) *CellList {
+	n := int(s.Box / s.Cutoff)
+	if n < 1 {
+		n = 1
+	}
+	cl := &CellList{n: n, size: s.Box / float64(n), box: s.Box, cells: make([][]int, n*n*n)}
+	for i, p := range s.Pos {
+		cl.cells[cl.index(p)] = append(cl.cells[cl.index(p)], i)
+	}
+	return cl
+}
+
+func (cl *CellList) index(p Vec3) int {
+	cx := cellCoord(p.X, cl.size, cl.n)
+	cy := cellCoord(p.Y, cl.size, cl.n)
+	cz := cellCoord(p.Z, cl.size, cl.n)
+	return (cx*cl.n+cy)*cl.n + cz
+}
+
+func cellCoord(x, size float64, n int) int {
+	c := int(math.Floor(x / size))
+	c %= n
+	if c < 0 {
+		c += n
+	}
+	return c
+}
+
+// ForEachPair calls fn once for every unordered atom pair (i < j) whose
+// cells are within one cell of each other — a superset of all pairs within
+// the cutoff. On small grids where neighbour offsets alias, each pair is
+// still visited exactly once.
+func (cl *CellList) ForEachPair(fn func(i, j int)) {
+	n := cl.n
+	visited := make(map[[2]int]bool)
+	smallGrid := n < 3 // offsets alias: dedupe explicitly
+	for cx := 0; cx < n; cx++ {
+		for cy := 0; cy < n; cy++ {
+			for cz := 0; cz < n; cz++ {
+				home := (cx*n+cy)*n + cz
+				atoms := cl.cells[home]
+				// Pairs within the home cell.
+				for a := 0; a < len(atoms); a++ {
+					for b := a + 1; b < len(atoms); b++ {
+						fn(atoms[a], atoms[b])
+					}
+				}
+				// Pairs with half of the neighbouring cells (avoiding
+				// double visits by ordering cells).
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							other := ((mod(cx+dx, n))*n+mod(cy+dy, n))*n + mod(cz+dz, n)
+							if other <= home {
+								continue
+							}
+							if smallGrid {
+								key := [2]int{home, other}
+								if visited[key] {
+									continue
+								}
+								visited[key] = true
+							}
+							for _, i := range atoms {
+								for _, j := range cl.cells[other] {
+									a, b := i, j
+									if a > b {
+										a, b = b, a
+									}
+									fn(a, b)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// RangeLimitedForces computes the range-limited nonbonded interactions:
+// Lennard-Jones plus the real-space (erfc-damped) part of Ewald
+// electrostatics for all pairs within the cutoff, with exclusion and
+// Ewald-exclusion corrections. Forces accumulate into s.Frc; the energy is
+// returned. This is the computation Anton's HTIS performs.
+func (s *System) RangeLimitedForces() float64 {
+	cl := NewCellList(s)
+	alpha := s.Alpha()
+	rc2 := s.Cutoff * s.Cutoff
+	var e float64
+	cl.ForEachPair(func(i, j int) {
+		d := s.MinImage(s.Pos[i], s.Pos[j])
+		r2 := d.Norm2()
+		if r2 >= rc2 || r2 == 0 {
+			return
+		}
+		r := math.Sqrt(r2)
+		var fScalar float64 // dV/dr * (-1/r), multiplying d gives force on i
+		qq := s.Charge[i] * s.Charge[j]
+		if s.Excluded(i, j) {
+			// Excluded pairs skip LJ and real-space Coulomb entirely, but
+			// the k-space sum includes them, so subtract the smeared
+			// interaction: V = -qq*erf(alpha r)/r.
+			erfTerm := math.Erf(alpha * r)
+			e -= qq * erfTerm / r
+			dV := qq * (erfTerm/r2 - 2*alpha/math.SqrtPi*math.Exp(-alpha*alpha*r2)/r)
+			fScalar = -dV / r
+		} else {
+			// Lennard-Jones with Lorentz-Berthelot combination.
+			eps := math.Sqrt(s.Eps[i] * s.Eps[j])
+			sig := 0.5 * (s.Sig[i] + s.Sig[j])
+			sr2 := sig * sig / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			e += 4 * eps * (sr12 - sr6)
+			ljF := 24 * eps * (2*sr12 - sr6) / r2 // multiplies d
+			// Real-space Ewald.
+			erfcTerm := math.Erfc(alpha * r)
+			e += qq * erfcTerm / r
+			fScalar = ljF + qq*(erfcTerm/(r2*r)+2*alpha/math.SqrtPi*math.Exp(-alpha*alpha*r2)/r2)
+		}
+		f := d.Scale(fScalar)
+		s.Frc[i] = s.Frc[i].Add(f)
+		s.Frc[j] = s.Frc[j].Sub(f)
+		s.Virial += f.Dot(d)
+	})
+	return e
+}
+
+// PairCountWithinCutoff returns the number of non-excluded pairs inside
+// the cutoff — the HTIS workload size.
+func (s *System) PairCountWithinCutoff() int {
+	cl := NewCellList(s)
+	rc2 := s.Cutoff * s.Cutoff
+	count := 0
+	cl.ForEachPair(func(i, j int) {
+		if s.Excluded(i, j) {
+			return
+		}
+		if s.MinImage(s.Pos[i], s.Pos[j]).Norm2() < rc2 {
+			count++
+		}
+	})
+	return count
+}
+
+// SelfEnergy returns the constant Ewald self-energy correction.
+func (s *System) SelfEnergy() float64 {
+	var q2 float64
+	for _, q := range s.Charge {
+		q2 += q * q
+	}
+	return -s.Alpha() / math.SqrtPi * q2
+}

@@ -1,0 +1,47 @@
+package md
+
+import "math"
+
+// Virial support: the paper's Figure 2 shows the global all-reduce
+// computing "kinetic energy / virial" — the virial feeds the barostat
+// (pressure control) exactly as the kinetic energy feeds the thermostat.
+// The force routines accumulate the virial trace W = sum(r_ij . F_ij)
+// alongside the forces; Pressure combines it with the kinetic energy.
+
+// Pressure returns the instantaneous pressure from the most recent force
+// evaluation's virial: P = (2*KE + W) / (3V).
+func (s *System) Pressure() float64 {
+	v := s.Box * s.Box * s.Box
+	return (2*s.KineticEnergy() + s.Virial) / (3 * v)
+}
+
+// Barostat is a Berendsen pressure coupler: it rescales the box and all
+// positions toward a target pressure. On Anton, the virial it consumes
+// arrives through the same dimension-ordered all-reduce as the
+// thermostat's kinetic energy.
+type Barostat struct {
+	TargetP float64
+	// TauInv is dt/tau_p combined with the compressibility: the fraction
+	// of the pressure error corrected per step.
+	TauInv float64
+}
+
+// Apply rescales s toward the target pressure and returns the linear
+// scale factor used.
+func (b Barostat) Apply(s *System) float64 {
+	p := s.Pressure()
+	mu := 1 + b.TauInv*(p-b.TargetP)
+	// Clamp to gentle rescalings for stability.
+	if mu < 0.98 {
+		mu = 0.98
+	}
+	if mu > 1.02 {
+		mu = 1.02
+	}
+	scale := math.Cbrt(mu)
+	s.Box *= scale
+	for i := range s.Pos {
+		s.Pos[i] = s.Pos[i].Scale(scale)
+	}
+	return scale
+}

@@ -1,0 +1,120 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+// totalEnergyAndVirial evaluates every component at the current geometry.
+func totalEnergyAndVirial(s *System) (float64, float64) {
+	for i := range s.Frc {
+		s.Frc[i] = Vec3{}
+	}
+	s.Virial = 0
+	e := s.BondForces() + s.AngleForces() + s.DihedralForces() + s.RangeLimitedForces()
+	g := NewGSE(s)
+	e += g.LongRangeForces()
+	return e, s.Virial
+}
+
+// scaleSystem uniformly rescales box and positions by factor f.
+func scaleSystem(s *System, f float64) {
+	s.Box *= f
+	for i := range s.Pos {
+		s.Pos[i] = s.Pos[i].Scale(f)
+	}
+}
+
+func TestVirialMatchesVolumeDerivative(t *testing.T) {
+	// The virial trace is the logarithmic volume derivative of the energy:
+	// W = -dE/d(ln s) under uniform scaling of box and positions. This
+	// validates every component's virial jointly, including the spectral
+	// reciprocal-space term.
+	s := Build(Config{Molecules: 10, Chains: 1, ChainLength: 5, Temperature: 0, Seed: 21})
+	_, w := totalEnergyAndVirial(s)
+	const h = 1e-5
+	scaleSystem(s, 1+h)
+	ePlus, _ := totalEnergyAndVirial(s)
+	scaleSystem(s, (1-h)/(1+h))
+	eMinus, _ := totalEnergyAndVirial(s)
+	scaleSystem(s, 1/(1-h))
+	grad := (ePlus - eMinus) / (2 * h) // dE/ds at s=1
+	want := -grad
+	if math.Abs(w-want) > 2e-2*math.Max(1, math.Abs(want)) {
+		t.Fatalf("virial = %v, -dE/ds = %v", w, want)
+	}
+}
+
+func TestSpectralEnergyMatchesInterpolated(t *testing.T) {
+	s := Build(Config{Molecules: 12, Seed: 22})
+	g := NewGSE(s)
+	for i := range s.Frc {
+		s.Frc[i] = Vec3{}
+	}
+	interp := g.LongRangeForces()
+	spec := g.SpectralEnergy()
+	if math.Abs(spec-interp) > 2e-2*math.Max(0.1, math.Abs(interp)) {
+		t.Fatalf("spectral energy %v, interpolated %v", spec, interp)
+	}
+}
+
+func TestVirialZeroWithoutInteractions(t *testing.T) {
+	s := Build(Config{Molecules: 6, Seed: 23})
+	for i := range s.Charge {
+		s.Charge[i] = 0
+		s.Eps[i] = 0
+	}
+	s.Bonds = nil
+	s.Angles = nil
+	s.Dihedrals = nil
+	s.BuildExclusions()
+	_, w := totalEnergyAndVirial(s)
+	if math.Abs(w) > 1e-10 {
+		t.Fatalf("ideal-gas virial = %v", w)
+	}
+}
+
+func TestPressureFiniteAndReported(t *testing.T) {
+	s := Build(Config{Molecules: 16, Temperature: 1, Seed: 24})
+	in := NewIntegrator(s, 0.002)
+	in.ComputeForces()
+	p := s.Pressure()
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("pressure = %v", p)
+	}
+}
+
+func TestBarostatMovesPressureTowardTarget(t *testing.T) {
+	// Start from a compressed (high-pressure) configuration and couple to
+	// a lower target: the box must expand and the pressure drop.
+	s := Build(Config{Molecules: 16, Temperature: 1, Seed: 25, Box: 9})
+	in := NewIntegrator(s, 0.001)
+	in.Thermostat = true
+	in.TargetT = 1
+	in.Tau = 0.05
+	in.ComputeForces()
+	p0 := s.Pressure()
+	box0 := s.Box
+	in.BarostatOn = true
+	in.Baro = Barostat{TargetP: p0 / 4, TauInv: 0.02}
+	in.Run(150)
+	if s.Box <= box0 {
+		t.Fatalf("box did not expand: %v -> %v", box0, s.Box)
+	}
+	p1 := s.Pressure()
+	if math.Abs(p1-in.Baro.TargetP) >= math.Abs(p0-in.Baro.TargetP) {
+		t.Fatalf("pressure did not approach target: %v -> %v (target %v)", p0, p1, in.Baro.TargetP)
+	}
+}
+
+func TestBarostatClampsRescaling(t *testing.T) {
+	s := Build(Config{Molecules: 4, Temperature: 1, Seed: 26})
+	in := NewIntegrator(s, 0.001)
+	in.ComputeForces()
+	// An absurd target must still produce a gentle per-step rescale.
+	b := Barostat{TargetP: -1e9, TauInv: 1}
+	scale := b.Apply(s)
+	if scale < math.Cbrt(0.98)-1e-12 || scale > math.Cbrt(1.02)+1e-12 {
+		t.Fatalf("rescale factor %v outside the clamp", scale)
+	}
+}

@@ -1,0 +1,338 @@
+package mdmap
+
+import (
+	"testing"
+
+	"anton/internal/machine"
+	"anton/internal/noc"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+	"anton/internal/trace"
+)
+
+// smallConfig is a fast test configuration: 4x4x4 machine, ~2k atoms.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Atoms = 1998
+	cfg.GridN = 16
+	return cfg
+}
+
+func newSmall(t *testing.T, cfg Config) (*sim.Sim, *Mapping) {
+	t.Helper()
+	s := sim.New()
+	m := machine.New(s, topo.NewTorus(4, 4, 4), noc.DefaultModel())
+	return s, New(s, m, cfg)
+}
+
+func TestSetupInvariants(t *testing.T) {
+	_, mp := newSmall(t, smallConfig())
+	if mp.Sys.N() != 1998 {
+		t.Fatalf("atoms = %d", mp.Sys.N())
+	}
+	// The fixed position count must cover the worst-case node.
+	maxAtoms := 0
+	for _, n := range mp.atomsAt {
+		if n > maxAtoms {
+			maxAtoms = n
+		}
+	}
+	if mp.posN < maxAtoms {
+		t.Fatalf("posN %d below max atoms per node %d", mp.posN, maxAtoms)
+	}
+	// Atoms all assigned.
+	total := 0
+	for _, n := range mp.atomsAt {
+		total += n
+	}
+	if total != mp.Sys.N() {
+		t.Fatalf("assigned %d of %d atoms", total, mp.Sys.N())
+	}
+	// Import region on a 4x4x4 torus: self + 13 distinct half-shell
+	// neighbours.
+	for n, set := range mp.importOf {
+		if len(set) != 14 {
+			t.Fatalf("node %d import set size %d, want 14", n, len(set))
+		}
+		if set[0] != topo.NodeID(n) {
+			t.Fatalf("import set must start with self")
+		}
+	}
+	// Source counts mirror import counts (the relation is symmetric).
+	for n := range mp.srcCount {
+		if mp.srcCount[n] != 14 {
+			t.Fatalf("srcCount[%d] = %d, want 14", n, mp.srcCount[n])
+		}
+	}
+	if mp.BondInstances() == 0 {
+		t.Fatal("no bond instances")
+	}
+	// A fresh bond program keeps communication local.
+	if h := mp.MeanBondHops(); h > 1.0 {
+		t.Fatalf("fresh bond program mean hops = %v, want < 1", h)
+	}
+}
+
+func TestStepKindsAlternate(t *testing.T) {
+	_, mp := newSmall(t, smallConfig())
+	kinds := []StepKind{}
+	for i := 0; i < 4; i++ {
+		kinds = append(kinds, mp.RunStep().Kind)
+	}
+	want := []StepKind{RangeLimited, LongRange, RangeLimited, LongRange}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("step kinds = %v", kinds)
+		}
+	}
+	if RangeLimited.String() != "range-limited" || LongRange.String() != "long-range" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestStepTimings(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MigrationInterval = 4
+	_, mp := newSmall(t, cfg)
+	rl := mp.RunStep()
+	lr := mp.RunStep()
+	if rl.Total <= 0 || lr.Total <= 0 {
+		t.Fatal("non-positive step times")
+	}
+	if lr.Total <= rl.Total {
+		t.Fatalf("long-range step %v not slower than range-limited %v", lr.Total, rl.Total)
+	}
+	if rl.FFT != 0 || lr.FFT == 0 {
+		t.Fatalf("FFT extents: rl=%v lr=%v", rl.FFT, lr.FFT)
+	}
+	if rl.Thermo != 0 || lr.Thermo == 0 {
+		t.Fatalf("thermostat extents: rl=%v lr=%v", rl.Thermo, lr.Thermo)
+	}
+	if rl.Comm <= 0 || rl.Comm >= rl.Total {
+		t.Fatalf("rl comm %v outside (0, total %v)", rl.Comm, rl.Total)
+	}
+	if rl.Migr != 0 || lr.Migr != 0 {
+		t.Fatal("migration ran on a non-migration step")
+	}
+	// Steps 3 and 4: step 4 migrates.
+	mp.RunStep()
+	mig := mp.RunStep()
+	if mig.Migr <= 0 {
+		t.Fatalf("migration extent %v on migration step", mig.Migr)
+	}
+}
+
+func TestThermostatOffMigrationOff(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ThermostatOn = false
+	cfg.MigrationInterval = 0
+	_, mp := newSmall(t, cfg)
+	for i := 0; i < 4; i++ {
+		st := mp.RunStep()
+		if st.Thermo != 0 || st.Migr != 0 {
+			t.Fatalf("step %d: thermo=%v migr=%v with features disabled", i, st.Thermo, st.Migr)
+		}
+	}
+}
+
+func TestDeterministicSteps(t *testing.T) {
+	run := func() []sim.Dur {
+		_, mp := newSmall(t, smallConfig())
+		var out []sim.Dur
+		for i := 0; i < 3; i++ {
+			out = append(out, mp.RunStep().Total)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRepeatedStepsStable(t *testing.T) {
+	// Counter bookkeeping must stay consistent over many steps: identical
+	// step kinds must give identical durations.
+	cfg := smallConfig()
+	cfg.MigrationInterval = 0
+	_, mp := newSmall(t, cfg)
+	var rl, lr []sim.Dur
+	for i := 0; i < 6; i++ {
+		st := mp.RunStep()
+		if st.Kind == RangeLimited {
+			rl = append(rl, st.Total)
+		} else {
+			lr = append(lr, st.Total)
+		}
+	}
+	for i := 1; i < len(rl); i++ {
+		if rl[i] != rl[0] {
+			t.Fatalf("range-limited steps drift: %v", rl)
+		}
+	}
+	for i := 1; i < len(lr); i++ {
+		if lr[i] != lr[0] {
+			t.Fatalf("long-range steps drift: %v", lr)
+		}
+	}
+}
+
+func TestBondAgingIncreasesHopsAndTime(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MigrationInterval = 0
+	_, mp := newSmall(t, cfg)
+	fresh := mp.MeanBondHops()
+	freshRL := mp.RunStep()
+	mp.RunStep() // keep parity
+
+	mp.SetBondAge(8_000_000)
+	aged := mp.MeanBondHops()
+	agedRL := mp.RunStep()
+	if aged <= fresh {
+		t.Fatalf("aging did not increase bond hops: %v -> %v", fresh, aged)
+	}
+	if agedRL.Total <= freshRL.Total {
+		t.Fatalf("aging did not slow the step: %v -> %v", freshRL.Total, agedRL.Total)
+	}
+}
+
+func TestBondProgramRegenerationRestoresLocality(t *testing.T) {
+	cfg := smallConfig()
+	_, mp := newSmall(t, cfg)
+	mp.SetBondAge(8_000_000)
+	aged := mp.MeanBondHops()
+	// Install a fresh program with the 120k-step staleness lag the paper
+	// describes.
+	mp.RegenerateBondProgram(120_000)
+	regen := mp.MeanBondHops()
+	if regen >= aged {
+		t.Fatalf("regeneration did not reduce hops: %v -> %v", aged, regen)
+	}
+}
+
+func TestMigrationIntervalImprovement(t *testing.T) {
+	// Fig. 12's shape: less frequent migration reduces the average step
+	// time.
+	avg := func(interval int) sim.Dur {
+		cfg := smallConfig()
+		cfg.MigrationInterval = interval
+		_, mp := newSmall(t, cfg)
+		var total sim.Dur
+		steps := 2 * interval
+		if steps < 4 {
+			steps = 4
+		}
+		for i := 0; i < steps; i++ {
+			total += mp.RunStep().Total
+		}
+		return total / sim.Dur(steps)
+	}
+	every := avg(1)
+	rare := avg(8)
+	if rare >= every {
+		t.Fatalf("migration every step (%v) not slower than every 8 (%v)", every, rare)
+	}
+}
+
+func TestTracerPhases(t *testing.T) {
+	_, mp := newSmall(t, smallConfig())
+	mp.Tracer = trace.New()
+	mp.RunStep()
+	mp.RunStep()
+	labels := map[string]bool{}
+	for _, ph := range mp.Tracer.Phases() {
+		labels[ph.Label] = true
+	}
+	for _, want := range []string{
+		"position send", "wait for positions", "range-limited interactions",
+		"bonded interactions", "charge spreading", "force interpolation",
+		"update positions and velocities", "wait for forces",
+		"kinetic energy", "adjust temperature",
+	} {
+		if !labels[want] {
+			t.Fatalf("phase %q missing from trace; have %v", want, labels)
+		}
+	}
+}
+
+func TestCounterAudit(t *testing.T) {
+	// The foundation of counted remote writes: the receivers' precomputed
+	// expectations must match the delivered packet counts exactly. After k
+	// steps every HTIS position counter must read k * sources * posN.
+	_, mp := newSmall(t, smallConfig())
+	const steps = 4
+	for i := 0; i < steps; i++ {
+		mp.RunStep()
+	}
+	m := mp.M
+	for id := 0; id < m.Torus.Nodes(); id++ {
+		htis := m.Client(packet.Client{Node: topo.NodeID(id), Kind: packet.HTIS})
+		want := uint64(steps * 14 * mp.PosPackets())
+		if got := htis.Counter(0).Value(); got != want {
+			t.Fatalf("node %d position counter = %d, want %d", id, got, want)
+		}
+	}
+	// Bond position counters across all nodes must sum to
+	// steps * BondInstances.
+	var bondTotal uint64
+	for id := 0; id < m.Torus.Nodes(); id++ {
+		s1 := m.Client(packet.Client{Node: topo.NodeID(id), Kind: packet.Slice1})
+		bondTotal += s1.Counter(1).Value()
+	}
+	if want := uint64(steps * mp.BondInstances()); bondTotal != want {
+		t.Fatalf("bond position counters sum to %d, want %d", bondTotal, want)
+	}
+}
+
+func TestTrafficScalesWithAtoms(t *testing.T) {
+	run := func(atoms int) float64 {
+		cfg := smallConfig()
+		cfg.Atoms = atoms
+		_, mp := newSmall(t, cfg)
+		return mp.RunStep().SentPerNode
+	}
+	small, large := run(999), run(3999)
+	if large <= small {
+		t.Fatalf("sends per node did not grow with atoms: %v vs %v", small, large)
+	}
+}
+
+func TestUnsupportedTorusPanics(t *testing.T) {
+	s := sim.New()
+	m := machine.New(s, topo.NewTorus(5, 5, 5), noc.DefaultModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 5x5x5 torus")
+		}
+	}()
+	New(s, m, smallConfig())
+}
+
+func TestProduction512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-node production step in short mode")
+	}
+	s := sim.New()
+	m := machine.Default512(s)
+	mp := New(s, m, DefaultConfig())
+	rl := mp.RunStep()
+	lr := mp.RunStep()
+	// Table 3 Anton column, +/-25%: range-limited 9.0us, long-range 22.2us.
+	if us := rl.Total.Us(); us < 6.7 || us > 11.3 {
+		t.Errorf("range-limited step = %.2fus, want ~9.0us", us)
+	}
+	if us := lr.Total.Us(); us < 16.6 || us > 27.8 {
+		t.Errorf("long-range step = %.2fus, want ~22.2us", us)
+	}
+	// The paper: during an *average* time step the average node sends over
+	// 250 messages and receives over 500.
+	if avg := (rl.SentPerNode + lr.SentPerNode) / 2; avg < 250 {
+		t.Errorf("average sends per node %v, want > 250", avg)
+	}
+	if avg := (rl.RecvPerNode + lr.RecvPerNode) / 2; avg < 500 {
+		t.Errorf("average receives per node %v, want > 500", avg)
+	}
+}

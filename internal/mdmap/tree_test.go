@@ -1,0 +1,109 @@
+package mdmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"anton/internal/machine"
+	"anton/internal/noc"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// Property: for random destination sets, the merged multicast tree built
+// from dimension-ordered routes delivers exactly once to every
+// destination and never delivers anywhere else.
+func TestBuildTreeDeliversExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tor := topo.NewTorus(8, 8, 8)
+	for trial := 0; trial < 25; trial++ {
+		src := topo.C(rng.Intn(8), rng.Intn(8), rng.Intn(8))
+		srcID := tor.ID(src)
+		destSet := map[topo.NodeID]bool{}
+		var dests []topo.NodeID
+		n := 1 + rng.Intn(12)
+		for len(dests) < n {
+			d := topo.NodeID(rng.Intn(512))
+			if !destSet[d] {
+				destSet[d] = true
+				dests = append(dests, d)
+			}
+		}
+		tree := buildTree(tor, src, dests, packet.Slice2)
+
+		s := sim.New()
+		m := machine.New(s, tor, noc.DefaultModel())
+		const id = 7
+		for node, e := range tree {
+			m.SetMulticast(node, id, e)
+		}
+		delivered := map[topo.NodeID]int{}
+		m.OnDeliver = func(p *packet.Packet, dst packet.Client, at sim.Time) {
+			if dst.Kind != packet.Slice2 {
+				t.Fatalf("delivery to wrong client kind %v", dst)
+			}
+			delivered[dst.Node]++
+		}
+		m.Client(packet.Client{Node: srcID, Kind: packet.Slice0}).Send(&packet.Packet{
+			Kind: packet.Write, Multicast: id, Counter: 0, Bytes: 8,
+		})
+		s.Run()
+		for _, d := range dests {
+			want := 1
+			if delivered[d] != want {
+				t.Fatalf("trial %d: dest %d delivered %d times", trial, d, delivered[d])
+			}
+		}
+		for node, count := range delivered {
+			if !destSet[node] {
+				t.Fatalf("trial %d: stray delivery to %d (x%d)", trial, node, count)
+			}
+		}
+	}
+}
+
+// Property: the tree includes the source among its destinations when the
+// source is in the set (self-delivery through the local ring).
+func TestBuildTreeSelfDelivery(t *testing.T) {
+	tor := topo.NewTorus(4, 4, 4)
+	src := topo.C(1, 1, 1)
+	srcID := tor.ID(src)
+	tree := buildTree(tor, src, []topo.NodeID{srcID}, packet.HTIS)
+	e, ok := tree[srcID]
+	if !ok || len(e.Local) != 1 || e.Local[0] != packet.HTIS {
+		t.Fatalf("self-delivery entry = %+v, %v", e, ok)
+	}
+	if len(e.Out) != 0 {
+		t.Fatalf("self-only tree forwards: %+v", e)
+	}
+}
+
+// Property: pattern ids of nearby roots never collide within each other's
+// forwarding trees (the stride-4 residue guarantee the installer relies
+// on).
+func TestPatternIDsCollisionFree(t *testing.T) {
+	tor := topo.NewTorus(8, 8, 8)
+	// Collect, for every pattern id, the set of nodes that carry an entry
+	// for some root with that id; two roots sharing an id must have
+	// disjoint tree node sets.
+	owner := map[packet.MulticastID]map[topo.NodeID]topo.Coord{}
+	tor.ForEach(func(root topo.Coord) {
+		id := patternID(mcPosBase, tor, root)
+		var dests []topo.NodeID
+		for _, nc := range tor.Neighbors26(root) {
+			dests = append(dests, tor.ID(nc))
+		}
+		dests = append(dests, tor.ID(root))
+		tree := buildTree(tor, root, dests, packet.HTIS)
+		if owner[id] == nil {
+			owner[id] = map[topo.NodeID]topo.Coord{}
+		}
+		for node := range tree {
+			if prev, clash := owner[id][node]; clash && prev != root {
+				t.Fatalf("pattern id %d: node %d used by roots %v and %v", id, node, prev, root)
+			}
+			owner[id][node] = root
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package noc
+
+import (
+	"testing"
+
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+	"testing/quick"
+)
+
+func TestHeadline162ns(t *testing.T) {
+	m := DefaultModel()
+	// One X hop, zero-byte write, slice to slice: the paper's headline.
+	got := m.PathLatency([3]int{1, 0, 0}, packet.Slice0, packet.Slice1, packet.HeaderBytes)
+	if got != 162*sim.Ns {
+		t.Fatalf("single X hop latency = %v, want 162ns", got)
+	}
+}
+
+func TestFig6ComponentSum(t *testing.T) {
+	m := DefaultModel()
+	sum := m.SliceSend + m.SrcRing + m.AdapterPair[topo.X] + m.DstRing + m.Deliver
+	if sum != 162*sim.Ns {
+		t.Fatalf("Fig. 6 components sum to %v, want 162ns", sum)
+	}
+	// Individual Fig. 6 values.
+	if m.SliceSend != 42*sim.Ns || m.SrcRing != 19*sim.Ns || m.DstRing != 25*sim.Ns || m.Deliver != 36*sim.Ns {
+		t.Fatal("Fig. 6 segment values drifted from the paper")
+	}
+	if m.AdapterPair[topo.X] != 40*sim.Ns {
+		t.Fatalf("adapter pair = %v, want 40ns (20ns per adapter)", m.AdapterPair[topo.X])
+	}
+}
+
+func TestHopIncrements(t *testing.T) {
+	m := DefaultModel()
+	if got := m.HopIncrement(topo.X); got != 76*sim.Ns {
+		t.Errorf("X hop increment = %v, want 76ns (Fig. 5)", got)
+	}
+	if got := m.HopIncrement(topo.Y); got != 54*sim.Ns {
+		t.Errorf("Y hop increment = %v, want 54ns (Fig. 5)", got)
+	}
+	if got := m.HopIncrement(topo.Z); got != 54*sim.Ns {
+		t.Errorf("Z hop increment = %v, want 54ns (Fig. 5)", got)
+	}
+}
+
+func TestPathLatencyLinearInHops(t *testing.T) {
+	m := DefaultModel()
+	base := m.PathLatency([3]int{1, 0, 0}, packet.Slice0, packet.Slice0, 32)
+	for h := 2; h <= 4; h++ {
+		got := m.PathLatency([3]int{h, 0, 0}, packet.Slice0, packet.Slice0, 32)
+		want := base + sim.Dur(h-1)*m.HopIncrement(topo.X)
+		if got != want {
+			t.Fatalf("%d X hops = %v, want %v", h, got, want)
+		}
+	}
+	// 4 X hops + Y and Z hops, as in the Fig. 5 measurement path.
+	got := m.PathLatency([3]int{4, 4, 4}, packet.Slice0, packet.Slice0, 32)
+	want := 162*sim.Ns + 3*76*sim.Ns + 8*54*sim.Ns
+	if got != want {
+		t.Fatalf("12-hop latency = %v, want %v", got, want)
+	}
+}
+
+func TestTwelveHopsAboutFiveTimesOneHop(t *testing.T) {
+	// Paper: communication between the two most distant nodes in an 8x8x8
+	// machine has a latency five times higher than neighbours.
+	m := DefaultModel()
+	one := m.PathLatency([3]int{1, 0, 0}, packet.Slice0, packet.Slice0, 32)
+	twelve := m.PathLatency([3]int{4, 4, 4}, packet.Slice0, packet.Slice0, 32)
+	ratio := float64(twelve) / float64(one)
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("12-hop / 1-hop = %.2f, want ~5", ratio)
+	}
+}
+
+func TestZeroHopLocalDelivery(t *testing.T) {
+	m := DefaultModel()
+	got := m.PathLatency([3]int{0, 0, 0}, packet.Slice0, packet.Slice1, 32)
+	want := m.SliceSend + m.LocalRing + m.Deliver
+	if got != want {
+		t.Fatalf("local latency = %v, want %v", got, want)
+	}
+	if got >= 162*sim.Ns {
+		t.Fatalf("local latency %v should undercut the 1-hop 162ns", got)
+	}
+}
+
+func TestExtraSerialization(t *testing.T) {
+	m := DefaultModel()
+	if m.ExtraSerialization(32) != 0 {
+		t.Error("header-only packet should pay no extra serialization")
+	}
+	if m.ExtraSerialization(0) != 0 {
+		t.Error("negative extra must clamp to zero")
+	}
+	got := m.ExtraSerialization(288)
+	if got != 256*193 {
+		t.Errorf("256B payload serialization = %v, want %v", got, sim.Dur(256*193))
+	}
+}
+
+func TestEffectiveDataBandwidth(t *testing.T) {
+	// A max-size packet must sustain ~36.8 Gbit/s of payload.
+	m := DefaultModel()
+	service := m.LinkService(288)
+	gbps := 256 * 8 / service.Ns()
+	if gbps < 36 || gbps > 38 {
+		t.Fatalf("max-packet payload bandwidth = %.2f Gbit/s, want ~36.8", gbps)
+	}
+}
+
+func TestHalfBandwidthMessageSize(t *testing.T) {
+	// Paper SIII.D: 50%% of the maximum data bandwidth is achieved with
+	// 28-byte messages. Find our model's half-power point.
+	m := DefaultModel()
+	peak := 256.0 / m.LinkService(288).Ns()
+	half := 0
+	for s := 1; s <= 256; s++ {
+		wire := packet.HeaderBytes + s
+		if s <= packet.InlineBytes {
+			wire = packet.HeaderBytes
+		}
+		tput := float64(s) / m.LinkService(wire).Ns()
+		if tput >= peak/2 {
+			half = s
+			break
+		}
+	}
+	if half < 20 || half > 36 {
+		t.Fatalf("half-bandwidth message size = %dB, want within ~28B +/- 8", half)
+	}
+}
+
+func TestSendAndDeliverDispatch(t *testing.T) {
+	m := DefaultModel()
+	if m.SendLatency(packet.Slice2) != m.SliceSend {
+		t.Error("slice send latency wrong")
+	}
+	if m.SendLatency(packet.HTIS) != m.HTISSend {
+		t.Error("HTIS send latency wrong")
+	}
+	if m.SendGap(packet.HTIS) != m.HTISSendGap || m.SendGap(packet.Slice0) != m.SliceSendGap {
+		t.Error("send gaps wrong")
+	}
+	if m.DeliverLatency(packet.Accum0) != m.AccumDeliver {
+		t.Error("accum deliver latency wrong")
+	}
+	if m.DeliverLatency(packet.HTIS) != m.Deliver {
+		t.Error("HTIS deliver latency wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: accumulation memories cannot send")
+		}
+	}()
+	m.SendLatency(packet.Accum1)
+}
+
+func TestSendLatencyVsGap(t *testing.T) {
+	// The gap (occupancy) must be much smaller than the latency, otherwise
+	// fine-grained messaging could not be efficient (Fig. 7).
+	m := DefaultModel()
+	if m.SliceSendGap*3 > m.SliceSend {
+		t.Fatalf("send gap %v too large relative to send latency %v", m.SliceSendGap, m.SliceSend)
+	}
+}
+
+func TestAccumPollPenalty(t *testing.T) {
+	// Paper SIV.B.4: polling accumulation-memory counters costs much more
+	// than local polling — this drives the all-reduce design.
+	m := DefaultModel()
+	if m.AccumPoll <= 2*m.Deliver {
+		t.Fatalf("AccumPoll %v should be much larger than local poll %v", m.AccumPoll, m.Deliver)
+	}
+}
+
+func TestHTISIngestFasterThanRing(t *testing.T) {
+	m := DefaultModel()
+	if m.ClientService(packet.HTIS, 64) >= m.ClientService(packet.Slice0, 64) {
+		t.Fatal("HTIS ingest must be faster than a slice's ring station")
+	}
+	if m.ClientService(packet.Accum0, 64) != m.ClientService(packet.Slice0, 64) {
+		t.Fatal("accumulation memories drain at ring-station rate")
+	}
+}
+
+// Property (testing/quick): contention-free path latency is monotone in
+// per-dimension hop counts.
+func TestPathLatencyMonotoneProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(hx, hy, hz uint8) bool {
+		h := [3]int{int(hx % 8), int(hy % 8), int(hz % 8)}
+		base := m.PathLatency(h, packet.Slice0, packet.Slice0, 64)
+		for d := 0; d < 3; d++ {
+			more := h
+			more[d]++
+			if m.PathLatency(more, packet.Slice0, packet.Slice0, 64) <= base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

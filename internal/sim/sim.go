@@ -1,0 +1,155 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// used by every timing model in this repository.
+//
+// Time is measured in integer picoseconds so that repeated additions of
+// sub-nanosecond latency components (e.g. 8.8 ns ring hops) never accumulate
+// floating-point error, and so that two runs of the same experiment are
+// bit-identical. Events scheduled for the same instant fire in the order in
+// which they were scheduled (FIFO tie-break on a sequence number), which
+// makes the entire simulation deterministic without any further effort from
+// the models built on top of it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation time in picoseconds.
+type Time int64
+
+// Dur is a span of simulation time in picoseconds.
+type Dur int64
+
+// Convenient duration units.
+const (
+	Ps Dur = 1
+	Ns Dur = 1000
+	Us Dur = 1000 * 1000
+	Ms Dur = 1000 * 1000 * 1000
+)
+
+// Ns reports t in nanoseconds as a float (for reporting only; the kernel
+// itself never uses floating point).
+func (t Time) Ns() float64 { return float64(t) / 1000 }
+
+// Us reports t in microseconds as a float.
+func (t Time) Us() float64 { return float64(t) / 1e6 }
+
+// Ns reports d in nanoseconds as a float.
+func (d Dur) Ns() float64 { return float64(d) / 1000 }
+
+// Us reports d in microseconds as a float.
+func (d Dur) Us() float64 { return float64(d) / 1e6 }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Dur) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Dur { return Dur(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fns", t.Ns()) }
+func (d Dur) String() string  { return fmt.Sprintf("%.3fns", d.Ns()) }
+
+// NsDur converts a nanosecond count to a Dur.
+func NsDur(ns float64) Dur { return Dur(ns * 1000) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nfired uint64
+}
+
+// New returns a fresh simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.nfired }
+
+// Pending returns the number of events not yet executed.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug rather than a recoverable condition.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Dur, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.nfired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (s *Sim) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns true if
+// the queue drained before the deadline, false if events remain beyond it.
+// The clock is advanced to the deadline when events remain.
+func (s *Sim) RunUntil(deadline Time) bool {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+	}
+	if len(s.events) == 0 {
+		return true
+	}
+	s.now = deadline
+	return false
+}
+
+// RunFor executes events for d simulated time from now; see RunUntil.
+func (s *Sim) RunFor(d Dur) bool { return s.RunUntil(s.now.Add(d)) }

@@ -1,0 +1,225 @@
+// Package trace is the software counterpart of Anton's logic analyzer: an
+// on-chip diagnostic facility the authors used to monitor ASIC activity
+// (Figure 13). Models record activity spans per unit class; the renderer
+// produces a textual timeline with one column per unit class, mirroring
+// the paper's figure: torus-link traffic on the left, computational units
+// (Tensilica cores, geometry cores, HTIS) on the right, with stall time
+// distinguished from useful work.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anton/internal/sim"
+)
+
+// Unit identifies a class of hardware unit whose activity is traced.
+type Unit int
+
+// The unit classes of Figure 13: six torus link directions, the Tensilica
+// cores, the geometry cores, and the HTIS units.
+const (
+	LinkXPlus Unit = iota
+	LinkXMinus
+	LinkYPlus
+	LinkYMinus
+	LinkZPlus
+	LinkZMinus
+	TS  // Tensilica cores
+	GC  // geometry cores
+	HTI // HTIS units
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{"X+", "X-", "Y+", "Y-", "Z+", "Z-", "TS", "GC", "HTIS"}
+
+func (u Unit) String() string {
+	if u >= 0 && u < NumUnits {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("Unit(%d)", int(u))
+}
+
+// Span is one recorded activity interval.
+type Span struct {
+	Unit  Unit
+	Start sim.Time
+	End   sim.Time
+	// Label names the activity (e.g. "position send", "range-limited").
+	Label string
+	// Stall marks time a unit spent waiting for data (light gray in the
+	// paper's figure).
+	Stall bool
+}
+
+// Tracer accumulates spans.
+type Tracer struct {
+	spans []Span
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Add records a span. Zero-length spans are dropped.
+func (t *Tracer) Add(u Unit, start, end sim.Time, label string, stall bool) {
+	if end <= start {
+		return
+	}
+	t.spans = append(t.spans, Span{Unit: u, Start: start, End: end, Label: label, Stall: stall})
+}
+
+// Spans returns all recorded spans sorted by start time.
+func (t *Tracer) Spans() []Span {
+	out := append([]Span(nil), t.spans...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Busy returns the total (possibly overlapping) recorded time on unit u,
+// optionally excluding stalls.
+func (t *Tracer) Busy(u Unit, includeStalls bool) sim.Dur {
+	var total sim.Dur
+	for _, s := range t.spans {
+		if s.Unit == u && (includeStalls || !s.Stall) {
+			total += s.End.Sub(s.Start)
+		}
+	}
+	return total
+}
+
+// Occupancy returns the fraction of [from, to] during which unit u has at
+// least one span active (union of intervals, so overlapping spans are not
+// double counted).
+func (t *Tracer) Occupancy(u Unit, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	type edge struct {
+		at    sim.Time
+		delta int
+	}
+	var edges []edge
+	for _, s := range t.spans {
+		if s.Unit != u || s.End <= from || s.Start >= to {
+			continue
+		}
+		st, en := s.Start, s.End
+		if st < from {
+			st = from
+		}
+		if en > to {
+			en = to
+		}
+		edges = append(edges, edge{st, +1}, edge{en, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta > edges[j].delta
+	})
+	var covered sim.Dur
+	depth := 0
+	var openAt sim.Time
+	for _, e := range edges {
+		if depth == 0 && e.delta > 0 {
+			openAt = e.at
+		}
+		depth += e.delta
+		if depth == 0 && e.delta < 0 {
+			covered += e.at.Sub(openAt)
+		}
+	}
+	return float64(covered) / float64(to.Sub(from))
+}
+
+// Timeline renders the Figure 13-style textual timeline: rows are time
+// buckets of the given width, columns are unit classes. Each cell shows
+// '#' when the unit is mostly busy with useful work, '+' when partially
+// busy, '.' when mostly stalled, and ' ' when idle.
+func (t *Tracer) Timeline(from, to sim.Time, bucket sim.Dur) string {
+	var b strings.Builder
+	b.WriteString("      time |")
+	for u := Unit(0); u < NumUnits; u++ {
+		fmt.Fprintf(&b, "%4s|", u)
+	}
+	b.WriteByte('\n')
+	for start := from; start < to; start = start.Add(bucket) {
+		end := start.Add(bucket)
+		if end > to {
+			end = to
+		}
+		fmt.Fprintf(&b, "%8.2fus |", start.Us())
+		for u := Unit(0); u < NumUnits; u++ {
+			busyFrac := t.occupancyFiltered(u, start, end, false)
+			allFrac := t.Occupancy(u, start, end)
+			cell := ' '
+			switch {
+			case busyFrac >= 0.5:
+				cell = '#'
+			case busyFrac > 0.05:
+				cell = '+'
+			case allFrac > 0.05:
+				cell = '.'
+			}
+			fmt.Fprintf(&b, " %c%c |", cell, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// occupancyFiltered is Occupancy restricted to stall or non-stall spans.
+func (t *Tracer) occupancyFiltered(u Unit, from, to sim.Time, stalls bool) float64 {
+	sub := New()
+	for _, s := range t.spans {
+		if s.Unit == u && s.Stall == stalls {
+			sub.spans = append(sub.spans, s)
+		}
+	}
+	return sub.Occupancy(u, from, to)
+}
+
+// Phases summarizes the labelled activity: for each distinct label, the
+// earliest start and latest end across all units, in chronological order
+// of first appearance. This reproduces the right-hand annotations of
+// Figure 13 ("position send", "range-limited interactions", ...).
+func (t *Tracer) Phases() []PhaseSummary {
+	order := []string{}
+	agg := map[string]*PhaseSummary{}
+	for _, s := range t.Spans() {
+		if s.Label == "" {
+			continue
+		}
+		ps, ok := agg[s.Label]
+		if !ok {
+			ps = &PhaseSummary{Label: s.Label, Start: s.Start, End: s.End}
+			agg[s.Label] = ps
+			order = append(order, s.Label)
+			continue
+		}
+		if s.Start < ps.Start {
+			ps.Start = s.Start
+		}
+		if s.End > ps.End {
+			ps.End = s.End
+		}
+	}
+	out := make([]PhaseSummary, 0, len(order))
+	for _, label := range order {
+		out = append(out, *agg[label])
+	}
+	return out
+}
+
+// PhaseSummary is the aggregate extent of one labelled activity.
+type PhaseSummary struct {
+	Label string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Dur returns the phase's extent.
+func (p PhaseSummary) Dur() sim.Dur { return p.End.Sub(p.Start) }

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"anton/internal/sim"
+	"testing/quick"
+)
+
+func TestBusyAccounting(t *testing.T) {
+	tr := New()
+	tr.Add(TS, 0, sim.Time(100*sim.Ns), "compute", false)
+	tr.Add(TS, sim.Time(100*sim.Ns), sim.Time(150*sim.Ns), "wait", true)
+	tr.Add(GC, 0, sim.Time(80*sim.Ns), "compute", false)
+	if got := tr.Busy(TS, true); got != 150*sim.Ns {
+		t.Fatalf("TS busy with stalls = %v", got)
+	}
+	if got := tr.Busy(TS, false); got != 100*sim.Ns {
+		t.Fatalf("TS busy without stalls = %v", got)
+	}
+	if got := tr.Busy(HTI, true); got != 0 {
+		t.Fatalf("HTIS busy = %v, want 0", got)
+	}
+}
+
+func TestZeroLengthSpansDropped(t *testing.T) {
+	tr := New()
+	tr.Add(TS, 50, 50, "noop", false)
+	tr.Add(TS, 60, 40, "negative", false)
+	if len(tr.Spans()) != 0 {
+		t.Fatal("degenerate spans retained")
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	tr := New()
+	tr.Add(GC, 300, 400, "c", false)
+	tr.Add(TS, 100, 200, "a", false)
+	tr.Add(HTI, 200, 300, "b", false)
+	spans := tr.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("spans unsorted: %v", spans)
+		}
+	}
+}
+
+func TestOccupancyUnion(t *testing.T) {
+	tr := New()
+	// Two overlapping spans covering [0,60) and [40,100): union 100.
+	tr.Add(LinkXPlus, 0, 60, "", false)
+	tr.Add(LinkXPlus, 40, 100, "", false)
+	if got := tr.Occupancy(LinkXPlus, 0, 100); got != 1.0 {
+		t.Fatalf("occupancy = %v, want 1.0", got)
+	}
+	if got := tr.Occupancy(LinkXPlus, 0, 200); got != 0.5 {
+		t.Fatalf("occupancy over double window = %v, want 0.5", got)
+	}
+	if got := tr.Occupancy(LinkYPlus, 0, 100); got != 0 {
+		t.Fatalf("unused unit occupancy = %v", got)
+	}
+	if got := tr.Occupancy(LinkXPlus, 100, 100); got != 0 {
+		t.Fatalf("empty window occupancy = %v", got)
+	}
+}
+
+func TestOccupancyClipsToWindow(t *testing.T) {
+	tr := New()
+	tr.Add(TS, 0, 1000, "", false)
+	if got := tr.Occupancy(TS, 400, 600); got != 1.0 {
+		t.Fatalf("clipped occupancy = %v", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := New()
+	us := sim.Time(sim.Us)
+	tr.Add(TS, 0, us, "position send", false)
+	tr.Add(TS, us, 2*us, "wait for forces", true)
+	tr.Add(LinkXPlus, 0, 2*us, "", false)
+	out := tr.Timeline(0, 2*us, sim.Us)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "TS") || !strings.Contains(lines[0], "X+") {
+		t.Fatalf("header missing units: %q", lines[0])
+	}
+	// First bucket: TS busy (#), second: TS stalled (.).
+	if !strings.Contains(lines[1], "##") {
+		t.Fatalf("busy bucket not rendered: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "..") {
+		t.Fatalf("stall bucket not rendered: %q", lines[2])
+	}
+}
+
+func TestPhases(t *testing.T) {
+	tr := New()
+	tr.Add(TS, 100, 200, "position send", false)
+	tr.Add(GC, 150, 400, "position send", false)
+	tr.Add(HTI, 300, 900, "range-limited", false)
+	tr.Add(TS, 500, 600, "position send", false)
+	phases := tr.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %v", phases)
+	}
+	if phases[0].Label != "position send" || phases[0].Start != 100 || phases[0].End != 600 {
+		t.Fatalf("phase 0 = %+v", phases[0])
+	}
+	if phases[1].Label != "range-limited" || phases[1].Dur() != 600 {
+		t.Fatalf("phase 1 = %+v", phases[1])
+	}
+}
+
+func TestUnitNames(t *testing.T) {
+	if TS.String() != "TS" || GC.String() != "GC" || HTI.String() != "HTIS" {
+		t.Fatal("unit names wrong")
+	}
+	if LinkZMinus.String() != "Z-" {
+		t.Fatalf("Z- name = %q", LinkZMinus)
+	}
+	if Unit(42).String() != "Unit(42)" {
+		t.Fatal("unknown unit name wrong")
+	}
+}
+
+// Property: occupancy always lies in [0, 1] for arbitrary span sets.
+func TestOccupancyBoundedProperty(t *testing.T) {
+	f := func(spans []struct{ S, D, U uint8 }) bool {
+		tr := New()
+		for _, sp := range spans {
+			start := sim.Time(sp.S) * 10
+			tr.Add(Unit(int(sp.U)%int(NumUnits)), start, start.Add(sim.Dur(sp.D)*10), "", sp.D%2 == 0)
+		}
+		for u := Unit(0); u < NumUnits; u++ {
+			occ := tr.Occupancy(u, 0, 2560)
+			if occ < 0 || occ > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
