@@ -1,6 +1,7 @@
 package anton
 
 import (
+	"fmt"
 	"testing"
 
 	"anton/internal/cluster"
@@ -112,6 +113,27 @@ func BenchmarkTable3AntonStep(b *testing.B) {
 	b.ReportMetric(rl.Total.Us(), "sim-us/range-limited")
 	b.ReportMetric(lr.Total.Us(), "sim-us/long-range")
 	b.ReportMetric((rl.Comm+lr.Comm).Us()/2, "sim-us/avg-comm")
+}
+
+// BenchmarkTable3Sweep runs the Table 3 measurement across four system
+// sizes, once sequentially and once on four workers. Each sweep point
+// owns an independent machine, so the per-size simulated timings are
+// identical between the sub-benchmarks — only the host wall clock
+// changes. Compare ns/op of the two sub-benchmarks for the speedup.
+func BenchmarkTable3Sweep(b *testing.B) {
+	sizes := []int{5000, 11000, 17758, 23558}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := harness.Workers()
+			harness.SetWorkers(workers)
+			defer harness.SetWorkers(prev)
+			var totals []sim.Dur
+			for i := 0; i < b.N; i++ {
+				totals = harness.Table3Sweep(sizes)
+			}
+			b.ReportMetric(totals[len(totals)-1].Us(), "sim-us/dhfr-avg-step")
+		})
+	}
 }
 
 // BenchmarkTable3DesmondStep measures the Desmond baseline's communication

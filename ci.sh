@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate: static checks plus the race-detector run of the short test
+# suite. The goroutine-parallel compute layer (internal/par and its
+# users) must stay clean under the race detector; the -short suite keeps
+# the gate fast while still covering every package, including the
+# par stress test and the bit-determinism equivalence tests.
+#
+# Usage: ./ci.sh
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race -short =="
+go test -race -short ./...
+
+echo "CI checks passed."

@@ -3,15 +3,16 @@
 //
 // Usage:
 //
-//	antonbench [-quick] list
-//	antonbench [-quick] <experiment-id> [...]
-//	antonbench [-quick] all
+//	antonbench [-quick] [-workers N] list
+//	antonbench [-quick] [-workers N] <experiment-id> [...]
+//	antonbench [-quick] [-workers N] all
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"anton/internal/harness"
@@ -19,7 +20,10 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduce sampling density of the expensive experiments")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines for experiment sweeps (1 = sequential; output is identical for any value)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 	args := flag.Args()
 	if len(args) == 0 || args[0] == "list" {
 		fmt.Println("experiments:")

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anton/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current experiment output")
+
+// TestGoldenReports pins the rendered text of two cheap experiments. The
+// reports are fully deterministic — the simulator has no real-time or
+// random inputs, and sweep parallelism never changes a byte of output —
+// so any diff means the performance model itself changed. After an
+// intentional model change, regenerate with:
+//
+//	go test ./cmd/antonbench -run Golden -update
+func TestGoldenReports(t *testing.T) {
+	for _, id := range []string{"fig6", "table1"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		got := e.Run(false)
+		path := filepath.Join("testdata", id+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with: go test ./cmd/antonbench -run Golden -update)", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s report drifted from %s — if the model change is intentional, regenerate with -update\n--- got ---\n%s--- want ---\n%s",
+				id, path, got, want)
+		}
+	}
+}

@@ -5,17 +5,19 @@
 //
 // Usage:
 //
-//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep]
+//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"anton/internal/machine"
 	"anton/internal/noc"
 	"anton/internal/packet"
+	"anton/internal/par"
 	"anton/internal/sim"
 	"anton/internal/topo"
 )
@@ -54,6 +56,8 @@ func main() {
 	toFlag := flag.String("to", "1,0,0", "destination node coordinate")
 	bytes := flag.Int("bytes", 0, "payload size (0-256)")
 	sweep := flag.Bool("sweep", false, "sweep payload sizes 0..256")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines for the payload sweep (1 = sequential; output is identical for any value)")
 	flag.Parse()
 
 	tor, err := parseTorus(*torusFlag)
@@ -77,8 +81,15 @@ func main() {
 		tor, from, to, hops[0]+hops[1]+hops[2], hops[0], hops[1], hops[2])
 	if *sweep {
 		fmt.Printf("%8s %12s\n", "bytes", "latency (ns)")
-		for _, b := range []int{0, 8, 16, 32, 64, 128, 192, 256} {
-			fmt.Printf("%8d %12.1f\n", b, measure(tor, from, to, b).Ns())
+		// Each payload size is measured on its own fresh machine, so the
+		// sweep points run concurrently and print in index order.
+		sizes := []int{0, 8, 16, 32, 64, 128, 192, 256}
+		lats := make([]sim.Dur, len(sizes))
+		par.ParFor(par.Workers(*workers), len(sizes), func(i int) {
+			lats[i] = measure(tor, from, to, sizes[i])
+		})
+		for i, b := range sizes {
+			fmt.Printf("%8d %12.1f\n", b, lats[i].Ns())
 		}
 		return
 	}

@@ -6,13 +6,14 @@
 // Usage:
 //
 //	mdsim [-atoms 23558] [-steps 10] [-torus 8x8x8] [-seed 1]
-//	      [-thermostat] [-migrate 8] [-engine-molecules 64]
+//	      [-thermostat] [-migrate 8] [-engine-molecules 64] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"anton/internal/machine"
 	"anton/internal/md"
@@ -30,6 +31,8 @@ func main() {
 	thermostat := flag.Bool("thermostat", true, "enable temperature control")
 	migrate := flag.Int("migrate", 8, "migration interval in steps (0 = off)")
 	engineMol := flag.Int("engine-molecules", 64, "molecules for the physical engine demo (0 = skip)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines for the MD force kernels (1 = sequential; results are bit-identical for any value)")
 	flag.Parse()
 
 	var tx, ty, tz int
@@ -40,7 +43,7 @@ func main() {
 
 	if *engineMol > 0 {
 		fmt.Printf("=== physical MD engine (%d molecules, sequential) ===\n", *engineMol)
-		sys := md.Build(md.Config{Molecules: *engineMol, Temperature: 1.0, Seed: *seed})
+		sys := md.Build(md.Config{Molecules: *engineMol, Temperature: 1.0, Seed: *seed, Workers: *workers})
 		in := md.NewIntegrator(sys, 0.002)
 		in.Thermostat = *thermostat
 		in.TargetT = 1.0
@@ -65,6 +68,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ThermostatOn = *thermostat
 	cfg.MigrationInterval = *migrate
+	cfg.Workers = *workers
 	if tx < 8 {
 		cfg.GridN = 16
 	}

@@ -1,0 +1,49 @@
+package fft
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The 3D transforms split n*n independent 1D lines across workers; every
+// line owns its own grid elements, so any worker count must produce
+// bit-identical grids.
+func TestGridTransformBitDeterminism(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		base := NewGrid(n)
+		for i := range base.Data {
+			base.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		ref := base.Clone()
+		ref.Workers = 1
+		ref.Forward()
+		refRound := ref.Clone()
+		refRound.Inverse()
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+			g := base.Clone()
+			g.Workers = w
+			g.Forward()
+			for i := range g.Data {
+				if g.Data[i] != ref.Data[i] {
+					t.Fatalf("n=%d workers=%d: forward grid[%d] = %v, want %v", n, w, i, g.Data[i], ref.Data[i])
+				}
+			}
+			g.Inverse()
+			for i := range g.Data {
+				if g.Data[i] != refRound.Data[i] {
+					t.Fatalf("n=%d workers=%d: round-trip grid[%d] differs", n, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCloneCopiesWorkers(t *testing.T) {
+	g := NewGrid(4)
+	g.Workers = 7
+	if c := g.Clone(); c.Workers != 7 {
+		t.Fatalf("Clone dropped Workers: got %d", c.Workers)
+	}
+}

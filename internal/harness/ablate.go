@@ -22,7 +22,11 @@ func ablateAllReduce(quick bool) string {
 		tori = tori[:1]
 	}
 	t := NewTable("torus", "dimension-ordered (us)", "radix-2 butterfly (us)", "accum-memory sums (us)")
-	for _, tor := range tori {
+	// The three algorithm variants per torus each run on a private
+	// machine; the torus sweep runs on the experiment worker pool.
+	type trio struct{ dim, fly, acc sim.Dur }
+	rs := sweep(len(tori), func(k int) trio {
+		tor := tori[k]
 		run := func(mk func(m *machine.Machine) func(func(topo.NodeID) []float64, func(sim.Time))) sim.Dur {
 			s := sim.New()
 			m := machine.New(s, tor, noc.DefaultModel())
@@ -40,7 +44,10 @@ func ablateAllReduce(quick bool) string {
 		acc := run(func(m *machine.Machine) func(func(topo.NodeID) []float64, func(sim.Time)) {
 			return collective.NewAccumAllReduce(m, collective.DefaultConfig(32)).Run
 		})
-		t.Row(tor.String(), fmt.Sprintf("%.2f", dim.Us()), fmt.Sprintf("%.2f", fly.Us()), fmt.Sprintf("%.2f", acc.Us()))
+		return trio{dim, fly, acc}
+	})
+	for k, tor := range tori {
+		t.Row(tor.String(), fmt.Sprintf("%.2f", rs[k].dim.Us()), fmt.Sprintf("%.2f", rs[k].fly.Us()), fmt.Sprintf("%.2f", rs[k].acc.Us()))
 	}
 	out += t.String()
 	out += "\nthe dimension-ordered algorithm needs 3 rounds and 3N/2 hops per ring; the\nbutterfly needs 3*log2(N) rounds; accumulation-memory summing pays the large\ncross-ring counter-polling penalty on every round\n"

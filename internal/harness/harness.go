@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"anton/internal/par"
 )
 
 // Experiment is a runnable reproduction of one table or figure.
@@ -23,6 +26,31 @@ type Experiment struct {
 var registry = map[string]Experiment{}
 
 func register(e Experiment) { registry[e.ID] = e }
+
+// workers is the pool size experiment sweeps use for their independent
+// simulation instances. Atomic because benchmarks and tests flip it
+// around concurrent experiment runs.
+var workers int64 = 1
+
+// SetWorkers sets the number of goroutines experiment sweeps may use:
+// 1 (the default) runs everything on the calling goroutine, 0 or a
+// negative value resolves to GOMAXPROCS. Every experiment's rendered
+// report is byte-identical for any setting, because each sweep point
+// owns a private simulator instance and results are assembled in index
+// order.
+func SetWorkers(n int) { atomic.StoreInt64(&workers, int64(n)) }
+
+// Workers reports the current sweep pool size.
+func Workers() int { return int(atomic.LoadInt64(&workers)) }
+
+// sweep runs n independent jobs — each building its own sim.Sim and
+// machine — on the package worker pool and returns the results in index
+// order.
+func sweep[T any](n int, job func(i int) T) []T {
+	out := make([]T, n)
+	par.ParFor(par.Workers(Workers()), n, func(i int) { out[i] = job(i) })
+	return out
+}
 
 // Lookup returns the experiment with the given id.
 func Lookup(id string) (Experiment, bool) {

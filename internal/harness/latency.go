@@ -66,19 +66,24 @@ func fig5(quick bool) string {
 	out := header("Figure 5: one-way counted remote write latency vs network hops (8x8x8)")
 	t := NewTable("hops", "0B uni (ns)", "0B bidir (ns)", "256B uni (ns)", "256B bidir (ns)")
 	maxHops := 12
-	for h := 0; h <= maxHops; h++ {
+	// Every hop count is measured on its own fresh machine, so the hop
+	// sweep runs on the experiment worker pool.
+	rows := sweep(maxHops+1, func(h int) [4]string {
 		dst := hopPath(h)
-		row := []interface{}{h}
-		for _, c := range []struct {
+		var cells [4]string
+		for k, c := range []struct {
 			bytes int
 			bidir bool
 		}{{0, false}, {0, true}, {256, false}, {256, true}} {
 			s := sim.New()
 			m := machine.Default512(s)
 			lat := measureWrite(m, topo.C(0, 0, 0), dst, c.bytes, c.bidir)
-			row = append(row, fmt.Sprintf("%.1f", lat.Ns()))
+			cells[k] = fmt.Sprintf("%.1f", lat.Ns())
 		}
-		t.Row(row...)
+		return cells
+	})
+	for h, cells := range rows {
+		t.Row(h, cells[0], cells[1], cells[2], cells[3])
 	}
 	out += t.String()
 	model := noc.DefaultModel()

@@ -65,8 +65,10 @@ func fig12(quick bool) string {
 		intervals = []int{1, 2, 4, 8}
 	}
 	t := NewTable("migration interval (steps)", "average step time (us)")
-	var first, last sim.Dur
-	for _, iv := range intervals {
+	// Each interval builds and steps its own machine: the sweep points are
+	// independent and run on the experiment worker pool.
+	avgs := sweep(len(intervals), func(k int) sim.Dur {
+		iv := intervals[k]
 		s := sim.New()
 		m := machine.Default512(s)
 		cfg := mdmap.DefaultConfig()
@@ -81,12 +83,11 @@ func fig12(quick bool) string {
 		for i := 0; i < steps; i++ {
 			total += mp.RunStep().Total
 		}
-		avg := total / sim.Dur(steps)
-		if iv == intervals[0] {
-			first = avg
-		}
-		last = avg
-		t.Row(iv, fmt.Sprintf("%.2f", avg.Us()))
+		return total / sim.Dur(steps)
+	})
+	first, last := avgs[0], avgs[len(avgs)-1]
+	for k, iv := range intervals {
+		t.Row(iv, fmt.Sprintf("%.2f", avgs[k].Us()))
 	}
 	out += t.String()
 	out += fmt.Sprintf("\nmigrating every 8 steps instead of every step improves performance by %.0f%% (paper: 19%%)\n",

@@ -61,14 +61,14 @@ func fig7(quick bool) string {
 	counts := []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
 	t := NewTable("messages", "Anton 1 hop (us)", "Anton 4 hops (us)", "InfiniBand (us)",
 		"A1 norm", "A4 norm", "IB norm")
-	var base1, base4, baseIB sim.Dur
+	type transfer struct{ a1, a4, ib sim.Dur }
+	rs := sweep(len(counts), func(i int) transfer {
+		n := counts[i]
+		return transfer{antonTransfer(1, 2048, n), antonTransfer(4, 2048, n), infinibandTransfer(2048, n)}
+	})
+	base1, base4, baseIB := rs[0].a1, rs[0].a4, rs[0].ib
 	for i, n := range counts {
-		a1 := antonTransfer(1, 2048, n)
-		a4 := antonTransfer(4, 2048, n)
-		ib := infinibandTransfer(2048, n)
-		if i == 0 {
-			base1, base4, baseIB = a1, a4, ib
-		}
+		a1, a4, ib := rs[i].a1, rs[i].a4, rs[i].ib
 		t.Row(n,
 			fmt.Sprintf("%.2f", a1.Us()), fmt.Sprintf("%.2f", a4.Us()), fmt.Sprintf("%.2f", ib.Us()),
 			fmt.Sprintf("%.2f", float64(a1)/float64(base1)),

@@ -32,25 +32,26 @@ func scaling(quick bool) string {
 		nodes       int
 		total, comm sim.Dur
 	}
-	var pts []point
-	for _, c := range configs {
-		tor := c.tor
+	// Each machine size maps and steps its own simulator instance; the
+	// sweep runs on the experiment worker pool.
+	pts := sweep(len(configs), func(k int) point {
+		c := configs[k]
 		s := sim.New()
-		m := machine.New(s, tor, noc.DefaultModel())
+		m := machine.New(s, c.tor, noc.DefaultModel())
 		cfg := mdmap.DefaultConfig()
 		cfg.MigrationInterval = 0
 		cfg.GridN = c.gridN
 		mp := mdmap.New(s, m, cfg)
 		rl := mp.RunStep()
 		lr := mp.RunStep()
-		total := (rl.Total + lr.Total) / 2
-		comm := (rl.Comm + lr.Comm) / 2
-		pts = append(pts, point{tor.Nodes(), total, comm})
-		t.Row(fmt.Sprintf("%d (%v)", tor.Nodes(), tor),
-			fmt.Sprintf("%.2f", total.Us()),
-			fmt.Sprintf("%.2f", comm.Us()),
-			fmt.Sprintf("%.0f%%", 100*float64(comm)/float64(total)),
-			23558/tor.Nodes())
+		return point{c.tor.Nodes(), (rl.Total + lr.Total) / 2, (rl.Comm + lr.Comm) / 2}
+	})
+	for k, p := range pts {
+		t.Row(fmt.Sprintf("%d (%v)", p.nodes, configs[k].tor),
+			fmt.Sprintf("%.2f", p.total.Us()),
+			fmt.Sprintf("%.2f", p.comm.Us()),
+			fmt.Sprintf("%.0f%%", 100*float64(p.comm)/float64(p.total)),
+			23558/p.nodes)
 	}
 	out += t.String()
 	speedup := float64(pts[0].total) / float64(pts[len(pts)-1].total)

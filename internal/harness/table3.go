@@ -52,6 +52,18 @@ func antonStepTimes(atoms int) (rl, lr mdmap.StepTiming) {
 	return avg(rls), avg(lrs)
 }
 
+// Table3Sweep runs the Table 3 step-time measurement for several system
+// sizes, one independent machine per size, on the experiment worker pool
+// (see SetWorkers). It returns the averaged per-step total for each size
+// in input order; the per-size results are identical for any worker
+// count. This is the workload behind BenchmarkTable3Sweep.
+func Table3Sweep(atomCounts []int) []sim.Dur {
+	return sweep(len(atomCounts), func(k int) sim.Dur {
+		rl, lr := antonStepTimes(atomCounts[k])
+		return (rl.Total + lr.Total) / 2
+	})
+}
+
 func table3(quick bool) string {
 	out := header("Table 3: critical-path communication and total time, DHFR on 512 nodes")
 	rl, lr := antonStepTimes(23558)

@@ -1,0 +1,114 @@
+package md
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The parallel force kernels promise more than reproducibility: for any
+// worker count they reproduce the sequential execution bit for bit,
+// because contributions are recorded per fixed shard and replayed in the
+// canonical order. The tests below check that promise on every layer —
+// individual kernels, the k-space grids, and whole trajectories — across
+// several seeds.
+
+var workerCounts = []int{4, runtime.GOMAXPROCS(0), 0}
+
+func TestRangeLimitedForcesBitDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		ref := Build(Config{Molecules: 40, Temperature: 1, Seed: seed, Workers: 1})
+		eRef := ref.RangeLimitedForces()
+		for _, w := range workerCounts {
+			s := Build(Config{Molecules: 40, Temperature: 1, Seed: seed, Workers: w})
+			e := s.RangeLimitedForces()
+			if e != eRef {
+				t.Fatalf("seed %d workers %d: energy %x, want %x", seed, w, e, eRef)
+			}
+			if s.Virial != ref.Virial {
+				t.Fatalf("seed %d workers %d: virial %x, want %x", seed, w, s.Virial, ref.Virial)
+			}
+			for i := range s.Frc {
+				if s.Frc[i] != ref.Frc[i] {
+					t.Fatalf("seed %d workers %d: force[%d] = %v, want %v", seed, w, i, s.Frc[i], ref.Frc[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLongRangeBitDeterminism(t *testing.T) {
+	for _, seed := range []int64{5, 17} {
+		ref := Build(Config{Molecules: 24, Temperature: 1, Seed: seed, GridN: 16, Workers: 1})
+		gRef := NewGSE(ref)
+		rhoRef := gRef.Spread()
+		phiRef := gRef.Convolve(rhoRef.Clone())
+		eRef := gRef.EnergyAndForces(phiRef)
+		for _, w := range workerCounts {
+			s := Build(Config{Molecules: 24, Temperature: 1, Seed: seed, GridN: 16, Workers: w})
+			g := NewGSE(s)
+			rho := g.Spread()
+			for i := range rho.Data {
+				if rho.Data[i] != rhoRef.Data[i] {
+					t.Fatalf("seed %d workers %d: charge grid[%d] = %v, want %v", seed, w, i, rho.Data[i], rhoRef.Data[i])
+				}
+			}
+			phi := g.Convolve(rho.Clone())
+			for i := range phi.Data {
+				if phi.Data[i] != phiRef.Data[i] {
+					t.Fatalf("seed %d workers %d: potential grid[%d] differs", seed, w, i)
+				}
+			}
+			if e := g.EnergyAndForces(phi); e != eRef {
+				t.Fatalf("seed %d workers %d: k-space energy %x, want %x", seed, w, e, eRef)
+			}
+			if g.Virial() != gRef.Virial() {
+				t.Fatalf("seed %d workers %d: k-space virial differs", seed, w)
+			}
+			for i := range s.Frc {
+				if s.Frc[i] != ref.Frc[i] {
+					t.Fatalf("seed %d workers %d: k-space force[%d] differs", seed, w, i)
+				}
+			}
+		}
+	}
+}
+
+// Whole-trajectory check: every position, velocity, and energy bit after
+// a thermostatted multi-step run must match the sequential run, since the
+// per-step forces do.
+func TestTrajectoryBitDeterminism(t *testing.T) {
+	run := func(seed int64, w int) (*System, float64) {
+		s := Build(Config{Molecules: 16, Temperature: 1, Seed: seed, Workers: w})
+		in := NewIntegrator(s, 0.002)
+		in.Thermostat = true
+		in.TargetT = 0.9
+		in.LongRangeInterval = 2
+		in.Run(12)
+		return s, in.TotalEnergy()
+	}
+	for _, seed := range []int64{7, 43} {
+		ref, eRef := run(seed, 1)
+		for _, w := range workerCounts {
+			s, e := run(seed, w)
+			if e != eRef {
+				t.Fatalf("seed %d workers %d: total energy %x, want %x", seed, w, e, eRef)
+			}
+			for i := range s.Pos {
+				if s.Pos[i] != ref.Pos[i] || s.Vel[i] != ref.Vel[i] {
+					t.Fatalf("seed %d workers %d: trajectory diverged at atom %d", seed, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPairCountWorkerIndependence(t *testing.T) {
+	ref := Build(Config{Molecules: 40, Seed: 13, Workers: 1})
+	want := ref.PairCountWithinCutoff()
+	for _, w := range workerCounts {
+		s := Build(Config{Molecules: 40, Seed: 13, Workers: w})
+		if got := s.PairCountWithinCutoff(); got != want {
+			t.Fatalf("workers %d: pair count %d, want %d", w, got, want)
+		}
+	}
+}

@@ -110,6 +110,9 @@ func TestBuildWithChains(t *testing.T) {
 }
 
 func TestChainSystemEnergyConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chain-system run; exercised without -short")
+	}
 	s := Build(Config{Molecules: 10, Chains: 1, ChainLength: 6, Temperature: 0.5, Seed: 7})
 	in := NewIntegrator(s, 0.001)
 	in.ComputeForces()

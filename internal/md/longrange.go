@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"anton/internal/fft"
+	"anton/internal/par"
 )
 
 // GSE implements the k-space part of Gaussian split Ewald (Shan et al.,
@@ -51,11 +52,14 @@ func NewGSE(s *System) *GSE {
 
 // GreenGrid returns the convolution kernel in wave-number space: 4*pi/k^2
 // with the k=0 mode zeroed (tinfoil boundary conditions). The distributed
-// FFT uses the same grid.
+// FFT uses the same grid. Each x plane is independent (every grid point is
+// written exactly once from its own wave number), so the planes fill in
+// parallel with bit-identical results for any worker count.
 func (g *GSE) GreenGrid() *fft.Grid {
 	grid := fft.NewGrid(g.n)
+	grid.Workers = g.s.Workers
 	L := g.s.Box
-	for mx := 0; mx < g.n; mx++ {
+	par.ParFor(par.Workers(g.s.Workers), g.n, func(mx int) {
 		for my := 0; my < g.n; my++ {
 			for mz := 0; mz < g.n; mz++ {
 				kx := waveNumber(mx, g.n, L)
@@ -68,7 +72,7 @@ func (g *GSE) GreenGrid() *fft.Grid {
 				grid.Set(mx, my, mz, complex(4*math.Pi/k2, 0))
 			}
 		}
-	}
+	})
 	return grid
 }
 
@@ -79,21 +83,65 @@ func waveNumber(m, n int, L float64) float64 {
 	return 2 * math.Pi * float64(m) / L
 }
 
+// gridContrib is one recorded charge deposit: grid index and weight.
+type gridContrib struct {
+	idx int
+	v   float64
+}
+
+// atomShards partitions the atom indices into at most maxShards contiguous
+// ranges — the fixed decomposition behind the parallel spreading and
+// interpolation kernels.
+func (g *GSE) atomShards() (shards int, bounds func(shard int) (lo, hi int)) {
+	n := g.s.N()
+	shards = n
+	if shards > maxShards {
+		shards = maxShards
+	}
+	return shards, func(s int) (int, int) { return s * n / shards, (s + 1) * n / shards }
+}
+
 // Spread builds the charge-density grid from the current positions.
+//
+// The Gaussian evaluations — one exp per support cell per atom, the HTIS's
+// charge-spreading workload — shard by atom range. Workers record their
+// deposits in atom order and the caller replays them in shard order, so the
+// grid accumulation order is exactly the sequential one and the result is
+// bit-identical for any worker count.
 func (g *GSE) Spread() *fft.Grid {
 	rho := fft.NewGrid(g.n)
+	rho.Workers = g.s.Workers
 	norm := math.Pow(2*math.Pi*g.sigmaG*g.sigmaG, -1.5)
-	for i, p := range g.s.Pos {
+	spreadAtom := func(i int, deposit func(idx int, v float64)) {
 		q := g.s.Charge[i]
 		if q == 0 {
-			continue
+			return
 		}
-		g.forEachSupportCell(p, func(gx, gy, gz int, d Vec3) {
+		g.forEachSupportCell(g.s.Pos[i], func(gx, gy, gz int, d Vec3) {
 			w := norm * math.Exp(-d.Norm2()/(2*g.sigmaG*g.sigmaG))
-			idx := rho.Idx(gx, gy, gz)
-			rho.Data[idx] += complex(q*w, 0)
+			deposit(rho.Idx(gx, gy, gz), q*w)
 		})
 	}
+	workers := par.Workers(g.s.Workers)
+	if workers == 1 {
+		for i := range g.s.Pos {
+			spreadAtom(i, func(idx int, v float64) { rho.Data[idx] += complex(v, 0) })
+		}
+		return rho
+	}
+	shards, bounds := g.atomShards()
+	par.MapReduce(workers, shards, func(shard int) []gridContrib {
+		lo, hi := bounds(shard)
+		var out []gridContrib
+		for i := lo; i < hi; i++ {
+			spreadAtom(i, func(idx int, v float64) { out = append(out, gridContrib{idx, v}) })
+		}
+		return out
+	}, func(_ int, contribs []gridContrib) {
+		for _, c := range contribs {
+			rho.Data[c.idx] += complex(c.v, 0)
+		}
+	})
 	return rho
 }
 
@@ -161,30 +209,61 @@ func (g *GSE) Phi() *fft.Grid { return g.phi }
 // EnergyAndForces interpolates the potential grid back at the atom
 // positions: it accumulates the k-space forces into s.Frc and returns the
 // k-space energy (excluding the constant self-energy term).
+// The interpolation kernel shards by atom range. Forces are per-atom
+// (each shard owns its atoms' Frc entries, so parallel writes are
+// disjoint); the scalar energy is recorded per atom and folded in atom
+// order by the caller, reproducing the sequential accumulation bit for
+// bit at any worker count.
 func (g *GSE) EnergyAndForces(phi *fft.Grid) float64 {
 	s := g.s
 	h3 := g.h * g.h * g.h
 	norm := math.Pow(2*math.Pi*g.sigmaG*g.sigmaG, -1.5)
 	inv2s := 1 / (2 * g.sigmaG * g.sigmaG)
 	invS2 := 1 / (g.sigmaG * g.sigmaG)
-	var energy float64
-	for i, p := range s.Pos {
+	// interpAtom evaluates atom i, adds its force into s.Frc[i], and
+	// returns its energy contribution (false for chargeless atoms).
+	interpAtom := func(i int) (float64, bool) {
 		q := s.Charge[i]
 		if q == 0 {
-			continue
+			return 0, false
 		}
 		var pot float64
 		var force Vec3
-		g.forEachSupportCell(p, func(gx, gy, gz int, d Vec3) {
+		g.forEachSupportCell(s.Pos[i], func(gx, gy, gz int, d Vec3) {
 			w := norm * math.Exp(-d.Norm2()*inv2s)
 			ph := real(phi.At(gx, gy, gz))
 			pot += w * ph
 			// F = q * h^3 * sum_g (d/sigmaG^2) * w * phi_g
 			force = force.Add(d.Scale(w * ph * invS2))
 		})
-		energy += 0.5 * q * pot * h3
 		s.Frc[i] = s.Frc[i].Add(force.Scale(q * h3))
+		return 0.5 * q * pot * h3, true
 	}
+	var energy float64
+	workers := par.Workers(s.Workers)
+	if workers == 1 {
+		for i := range s.Pos {
+			if e, ok := interpAtom(i); ok {
+				energy += e
+			}
+		}
+		return energy
+	}
+	shards, bounds := g.atomShards()
+	par.MapReduce(workers, shards, func(shard int) []gridContrib {
+		lo, hi := bounds(shard)
+		var out []gridContrib
+		for i := lo; i < hi; i++ {
+			if e, ok := interpAtom(i); ok {
+				out = append(out, gridContrib{i, e})
+			}
+		}
+		return out
+	}, func(_ int, contribs []gridContrib) {
+		for _, c := range contribs {
+			energy += c.v
+		}
+	})
 	return energy
 }
 

@@ -318,6 +318,9 @@ func TestForcesSumToZero(t *testing.T) {
 }
 
 func TestNVEEnergyConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-step NVE run; exercised without -short")
+	}
 	s := Build(Config{Molecules: 16, Temperature: 0.8, Seed: 23})
 	in := NewIntegrator(s, 0.001)
 	in.ComputeForces()
@@ -331,6 +334,9 @@ func TestNVEEnergyConservation(t *testing.T) {
 }
 
 func TestMomentumConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-step integration; exercised without -short")
+	}
 	s := Build(Config{Molecules: 16, Temperature: 0.8, Seed: 29})
 	in := NewIntegrator(s, 0.001)
 	in.Run(100)
@@ -342,6 +348,9 @@ func TestMomentumConservation(t *testing.T) {
 }
 
 func TestThermostatDrivesTemperature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("300-step thermostatted run; exercised without -short")
+	}
 	s := Build(Config{Molecules: 24, Temperature: 2.0, Seed: 31})
 	in := NewIntegrator(s, 0.002)
 	in.Thermostat = true

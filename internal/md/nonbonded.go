@@ -1,6 +1,10 @@
 package md
 
-import "math"
+import (
+	"math"
+
+	"anton/internal/par"
+)
 
 // CellList is a spatial binning of atoms used to enumerate range-limited
 // pairs in O(N). It is the sequential counterpart of Anton's spatial
@@ -46,49 +50,59 @@ func cellCoord(x, size float64, n int) int {
 // the cutoff. On small grids where neighbour offsets alias, each pair is
 // still visited exactly once.
 func (cl *CellList) ForEachPair(fn func(i, j int)) {
+	for home := 0; home < len(cl.cells); home++ {
+		cl.pairsOfCell(home, fn)
+	}
+}
+
+// pairsOfCell enumerates the pairs canonically owned by the given home
+// cell: all pairs within it, plus its pairs with the neighbouring cells of
+// higher index. Visiting every home cell in ascending index order
+// reproduces ForEachPair's enumeration exactly, which is what lets the
+// parallel force kernel shard by cell while keeping the canonical pair
+// order within each shard.
+func (cl *CellList) pairsOfCell(home int, fn func(i, j int)) {
 	n := cl.n
-	visited := make(map[[2]int]bool)
-	smallGrid := n < 3 // offsets alias: dedupe explicitly
-	for cx := 0; cx < n; cx++ {
-		for cy := 0; cy < n; cy++ {
-			for cz := 0; cz < n; cz++ {
-				home := (cx*n+cy)*n + cz
-				atoms := cl.cells[home]
-				// Pairs within the home cell.
-				for a := 0; a < len(atoms); a++ {
-					for b := a + 1; b < len(atoms); b++ {
-						fn(atoms[a], atoms[b])
-					}
+	cz := home % n
+	cy := (home / n) % n
+	cx := home / (n * n)
+	atoms := cl.cells[home]
+	// Pairs within the home cell.
+	for a := 0; a < len(atoms); a++ {
+		for b := a + 1; b < len(atoms); b++ {
+			fn(atoms[a], atoms[b])
+		}
+	}
+	// Pairs with half of the neighbouring cells (avoiding double visits by
+	// ordering cells). On small grids the offsets alias: dedupe explicitly.
+	var visited map[[2]int]bool
+	if n < 3 {
+		visited = make(map[[2]int]bool)
+	}
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
 				}
-				// Pairs with half of the neighbouring cells (avoiding
-				// double visits by ordering cells).
-				for dx := -1; dx <= 1; dx++ {
-					for dy := -1; dy <= 1; dy++ {
-						for dz := -1; dz <= 1; dz++ {
-							if dx == 0 && dy == 0 && dz == 0 {
-								continue
-							}
-							other := ((mod(cx+dx, n))*n+mod(cy+dy, n))*n + mod(cz+dz, n)
-							if other <= home {
-								continue
-							}
-							if smallGrid {
-								key := [2]int{home, other}
-								if visited[key] {
-									continue
-								}
-								visited[key] = true
-							}
-							for _, i := range atoms {
-								for _, j := range cl.cells[other] {
-									a, b := i, j
-									if a > b {
-										a, b = b, a
-									}
-									fn(a, b)
-								}
-							}
+				other := ((mod(cx+dx, n))*n+mod(cy+dy, n))*n + mod(cz+dz, n)
+				if other <= home {
+					continue
+				}
+				if visited != nil {
+					key := [2]int{home, other}
+					if visited[key] {
+						continue
+					}
+					visited[key] = true
+				}
+				for _, i := range atoms {
+					for _, j := range cl.cells[other] {
+						a, b := i, j
+						if a > b {
+							a, b = b, a
 						}
+						fn(a, b)
 					}
 				}
 			}
@@ -104,69 +118,162 @@ func mod(a, n int) int {
 	return m
 }
 
+// maxShards caps the number of work shards handed to the parallel layer.
+// It is a fixed constant — never derived from the worker count — because
+// the shard decomposition defines the canonical combine order that makes
+// parallel results bit-identical across worker counts.
+const maxShards = 256
+
+// cellShards partitions the home cells into at most maxShards contiguous
+// index ranges.
+func (cl *CellList) cellShards() (shards int, bounds func(shard int) (lo, hi int)) {
+	cells := len(cl.cells)
+	shards = cells
+	if shards > maxShards {
+		shards = maxShards
+	}
+	return shards, func(s int) (int, int) { return s * cells / shards, (s + 1) * cells / shards }
+}
+
+// pairContrib is one pair's recorded interaction: the force on atom i (the
+// reaction on j is its negation), the energy terms, and the virial term.
+// The sequential kernel performs up to two separate energy additions per
+// pair (Lennard-Jones, then real-space Coulomb); e2Valid distinguishes that
+// case from the single-addition excluded-pair correction so the replay
+// reproduces the identical float-operation sequence.
+type pairContrib struct {
+	i, j    int
+	f       Vec3
+	e1, e2  float64
+	w       float64
+	e2Valid bool
+}
+
+// pairInteraction evaluates the range-limited interaction of one pair,
+// returning false when the pair is outside the cutoff. It is the single
+// source of truth for the pair physics, shared by the sequential and
+// parallel paths.
+func (s *System) pairInteraction(i, j int, alpha, rc2 float64) (pairContrib, bool) {
+	d := s.MinImage(s.Pos[i], s.Pos[j])
+	r2 := d.Norm2()
+	if r2 >= rc2 || r2 == 0 {
+		return pairContrib{}, false
+	}
+	r := math.Sqrt(r2)
+	c := pairContrib{i: i, j: j}
+	var fScalar float64 // dV/dr * (-1/r), multiplying d gives force on i
+	qq := s.Charge[i] * s.Charge[j]
+	if s.Excluded(i, j) {
+		// Excluded pairs skip LJ and real-space Coulomb entirely, but the
+		// k-space sum includes them, so subtract the smeared interaction:
+		// V = -qq*erf(alpha r)/r.
+		erfTerm := math.Erf(alpha * r)
+		c.e1 = -(qq * erfTerm / r)
+		dV := qq * (erfTerm/r2 - 2*alpha/math.SqrtPi*math.Exp(-alpha*alpha*r2)/r)
+		fScalar = -dV / r
+	} else {
+		// Lennard-Jones with Lorentz-Berthelot combination.
+		eps := math.Sqrt(s.Eps[i] * s.Eps[j])
+		sig := 0.5 * (s.Sig[i] + s.Sig[j])
+		sr2 := sig * sig / r2
+		sr6 := sr2 * sr2 * sr2
+		sr12 := sr6 * sr6
+		c.e1 = 4 * eps * (sr12 - sr6)
+		ljF := 24 * eps * (2*sr12 - sr6) / r2 // multiplies d
+		// Real-space Ewald.
+		erfcTerm := math.Erfc(alpha * r)
+		c.e2 = qq * erfcTerm / r
+		c.e2Valid = true
+		fScalar = ljF + qq*(erfcTerm/(r2*r)+2*alpha/math.SqrtPi*math.Exp(-alpha*alpha*r2)/r2)
+	}
+	c.f = d.Scale(fScalar)
+	c.w = c.f.Dot(d)
+	return c, true
+}
+
+// apply replays one recorded contribution onto the system state, mirroring
+// the sequential kernel's accumulation statements operation for operation.
+func (c *pairContrib) apply(s *System, e *float64) {
+	*e += c.e1
+	if c.e2Valid {
+		*e += c.e2
+	}
+	s.Frc[c.i] = s.Frc[c.i].Add(c.f)
+	s.Frc[c.j] = s.Frc[c.j].Sub(c.f)
+	s.Virial += c.w
+}
+
 // RangeLimitedForces computes the range-limited nonbonded interactions:
 // Lennard-Jones plus the real-space (erfc-damped) part of Ewald
 // electrostatics for all pairs within the cutoff, with exclusion and
 // Ewald-exclusion corrections. Forces accumulate into s.Frc; the energy is
 // returned. This is the computation Anton's HTIS performs.
+//
+// With s.Workers != 1 the pair evaluations — the expensive part: sqrt,
+// erfc, exp per pair — run on a goroutine pool, sharded by home cell. Each
+// shard records its contributions in the canonical cell-order enumeration
+// and the caller replays them shard by shard, so the float accumulation
+// order (and therefore every bit of the forces, energy, and virial) is
+// identical to the sequential execution for any worker count.
 func (s *System) RangeLimitedForces() float64 {
 	cl := NewCellList(s)
 	alpha := s.Alpha()
 	rc2 := s.Cutoff * s.Cutoff
 	var e float64
-	cl.ForEachPair(func(i, j int) {
-		d := s.MinImage(s.Pos[i], s.Pos[j])
-		r2 := d.Norm2()
-		if r2 >= rc2 || r2 == 0 {
-			return
+	workers := par.Workers(s.Workers)
+	if workers == 1 {
+		// Sequential fast path: evaluate and accumulate pair by pair.
+		cl.ForEachPair(func(i, j int) {
+			if c, ok := s.pairInteraction(i, j, alpha, rc2); ok {
+				c.apply(s, &e)
+			}
+		})
+		return e
+	}
+	shards, bounds := cl.cellShards()
+	par.MapReduce(workers, shards, func(shard int) []pairContrib {
+		lo, hi := bounds(shard)
+		var out []pairContrib
+		for home := lo; home < hi; home++ {
+			cl.pairsOfCell(home, func(i, j int) {
+				if c, ok := s.pairInteraction(i, j, alpha, rc2); ok {
+					out = append(out, c)
+				}
+			})
 		}
-		r := math.Sqrt(r2)
-		var fScalar float64 // dV/dr * (-1/r), multiplying d gives force on i
-		qq := s.Charge[i] * s.Charge[j]
-		if s.Excluded(i, j) {
-			// Excluded pairs skip LJ and real-space Coulomb entirely, but
-			// the k-space sum includes them, so subtract the smeared
-			// interaction: V = -qq*erf(alpha r)/r.
-			erfTerm := math.Erf(alpha * r)
-			e -= qq * erfTerm / r
-			dV := qq * (erfTerm/r2 - 2*alpha/math.SqrtPi*math.Exp(-alpha*alpha*r2)/r)
-			fScalar = -dV / r
-		} else {
-			// Lennard-Jones with Lorentz-Berthelot combination.
-			eps := math.Sqrt(s.Eps[i] * s.Eps[j])
-			sig := 0.5 * (s.Sig[i] + s.Sig[j])
-			sr2 := sig * sig / r2
-			sr6 := sr2 * sr2 * sr2
-			sr12 := sr6 * sr6
-			e += 4 * eps * (sr12 - sr6)
-			ljF := 24 * eps * (2*sr12 - sr6) / r2 // multiplies d
-			// Real-space Ewald.
-			erfcTerm := math.Erfc(alpha * r)
-			e += qq * erfcTerm / r
-			fScalar = ljF + qq*(erfcTerm/(r2*r)+2*alpha/math.SqrtPi*math.Exp(-alpha*alpha*r2)/r2)
+		return out
+	}, func(_ int, contribs []pairContrib) {
+		for k := range contribs {
+			contribs[k].apply(s, &e)
 		}
-		f := d.Scale(fScalar)
-		s.Frc[i] = s.Frc[i].Add(f)
-		s.Frc[j] = s.Frc[j].Sub(f)
-		s.Virial += f.Dot(d)
 	})
 	return e
 }
 
 // PairCountWithinCutoff returns the number of non-excluded pairs inside
-// the cutoff — the HTIS workload size.
+// the cutoff — the HTIS workload size. The count shards by home cell like
+// the force kernel; integer addition is associative, so any worker count
+// gives the exact same total.
 func (s *System) PairCountWithinCutoff() int {
 	cl := NewCellList(s)
 	rc2 := s.Cutoff * s.Cutoff
 	count := 0
-	cl.ForEachPair(func(i, j int) {
-		if s.Excluded(i, j) {
-			return
+	shards, bounds := cl.cellShards()
+	par.MapReduce(par.Workers(s.Workers), shards, func(shard int) int {
+		lo, hi := bounds(shard)
+		sub := 0
+		for home := lo; home < hi; home++ {
+			cl.pairsOfCell(home, func(i, j int) {
+				if s.Excluded(i, j) {
+					return
+				}
+				if s.MinImage(s.Pos[i], s.Pos[j]).Norm2() < rc2 {
+					sub++
+				}
+			})
 		}
-		if s.MinImage(s.Pos[i], s.Pos[j]).Norm2() < rc2 {
-			count++
-		}
-	})
+		return sub
+	}, func(_ int, sub int) { count += sub })
 	return count
 }
 

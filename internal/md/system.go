@@ -87,6 +87,13 @@ type System struct {
 	// forces; Integrator.ComputeForces zeroes it with the force arrays.
 	Virial float64
 
+	// Workers is the goroutine-parallelism of the compute kernels
+	// (range-limited forces, charge spreading, force interpolation, FFTs):
+	// 0 means runtime.GOMAXPROCS(0), 1 runs fully sequential on the calling
+	// goroutine. Every kernel combines partial results in a fixed canonical
+	// order, so all settings produce bit-identical physics.
+	Workers int
+
 	// excl[i] lists atom indices j > i excluded from nonbonded
 	// interactions because of a 1-2 or 1-3 bonded relationship.
 	excl [][]int
@@ -214,6 +221,9 @@ type Config struct {
 	Cutoff float64
 	Sigma  float64
 	GridN  int
+	// Workers sets System.Workers: compute-kernel goroutine parallelism
+	// (0 = GOMAXPROCS, 1 = sequential; results are bit-identical either way).
+	Workers int
 }
 
 // Build creates a synthetic periodic molecular system: Molecules bent
@@ -249,10 +259,11 @@ func Build(cfg Config) *System {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := &System{
-		Box:    cfg.Box,
-		Cutoff: cfg.Cutoff,
-		Sigma:  cfg.Sigma,
-		GridN:  cfg.GridN,
+		Box:     cfg.Box,
+		Cutoff:  cfg.Cutoff,
+		Sigma:   cfg.Sigma,
+		GridN:   cfg.GridN,
+		Workers: cfg.Workers,
 	}
 	for c := 0; c < cfg.Chains; c++ {
 		s.addChain(cfg.ChainLength, rng)

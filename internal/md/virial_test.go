@@ -85,6 +85,9 @@ func TestPressureFiniteAndReported(t *testing.T) {
 }
 
 func TestBarostatMovesPressureTowardTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long barostat relaxation; exercised without -short")
+	}
 	// Start from a compressed (high-pressure) configuration and couple to
 	// a lower target: the box must expand and the pressure drop.
 	s := Build(Config{Molecules: 16, Temperature: 1, Seed: 25, Box: 9})

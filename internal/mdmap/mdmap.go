@@ -32,6 +32,7 @@ import (
 	"anton/internal/machine"
 	"anton/internal/md"
 	"anton/internal/packet"
+	"anton/internal/par"
 	"anton/internal/sim"
 	"anton/internal/topo"
 	"anton/internal/trace"
@@ -64,6 +65,12 @@ type Config struct {
 	LongRangeInterval int // long-range forces every k-th step (paper: 2)
 	ThermostatOn      bool
 	MigrationInterval int // migrate every k-th step; 0 disables migration
+
+	// Workers: goroutines used by the host-side precomputations (the
+	// chemical-system pair count, bond aging) and threaded into the
+	// underlying md.System. 1 is fully sequential, 0 resolves to
+	// GOMAXPROCS; all settings produce bit-identical mappings.
+	Workers int
 
 	// ForcesPerPacket: force contributions aggregated per accumulation
 	// packet. A force record is three 4-byte fixed-point quantities (the
@@ -211,6 +218,7 @@ func New(s *sim.Sim, m *machine.Machine, cfg Config) *Mapping {
 		Temperature: 1.0,
 		Seed:        cfg.Seed,
 		GridN:       cfg.GridN,
+		Workers:     cfg.Workers,
 	})
 	mp := &Mapping{
 		M: m, Cfg: cfg, Sys: sys, tor: tor,
@@ -596,9 +604,11 @@ func (mp *Mapping) RegenerateBondProgram(lag int) { mp.buildBondProgram(lag) }
 // node is re-drawn from the diffusion model while term assignments stay
 // fixed, so bond communication distances grow (Figure 11's mechanism).
 func (mp *Mapping) SetBondAge(age int) {
-	for i := range mp.bonds {
+	// Each bond's displaced home is an independent pure computation with a
+	// disjoint write, so the re-draw runs on the worker pool.
+	par.ParFor(par.Workers(mp.Cfg.Workers), len(mp.bonds), func(i int) {
 		mp.bonds[i].src = mp.displacedHome(mp.bonds[i].atom, age)
-	}
+	})
 	mp.bondAge = age
 	mp.recountBondExpectations()
 }

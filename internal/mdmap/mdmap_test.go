@@ -75,6 +75,9 @@ func TestSetupInvariants(t *testing.T) {
 }
 
 func TestStepKindsAlternate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several 512-node steps; exercised without -short")
+	}
 	_, mp := newSmall(t, smallConfig())
 	kinds := []StepKind{}
 	for i := 0; i < 4; i++ {
@@ -92,6 +95,9 @@ func TestStepKindsAlternate(t *testing.T) {
 }
 
 func TestStepTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several 512-node steps; exercised without -short")
+	}
 	cfg := smallConfig()
 	cfg.MigrationInterval = 4
 	_, mp := newSmall(t, cfg)
@@ -154,6 +160,9 @@ func TestDeterministicSteps(t *testing.T) {
 }
 
 func TestRepeatedStepsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many 512-node steps; exercised without -short")
+	}
 	// Counter bookkeeping must stay consistent over many steps: identical
 	// step kinds must give identical durations.
 	cfg := smallConfig()
@@ -214,6 +223,9 @@ func TestBondProgramRegenerationRestoresLocality(t *testing.T) {
 }
 
 func TestMigrationIntervalImprovement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-interval 512-node sweep; exercised without -short")
+	}
 	// Fig. 12's shape: less frequent migration reduces the average step
 	// time.
 	avg := func(interval int) sim.Dur {

@@ -1,0 +1,146 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"anton/internal/topo"
+)
+
+// Binary wire codec for packets. The encoding mirrors the hardware
+// format's shape: a fixed 32-byte header (HeaderBytes) followed by the
+// functional payload as 8-byte words. Tag is a host-side trace label and
+// is never encoded.
+//
+// Header layout (little-endian):
+//
+//	 0     kind
+//	 1     flags (bit 0: in-order delivery)
+//	 2- 5  source node
+//	 6     source client kind
+//	 7-10  destination node
+//	11     destination client kind
+//	12-13  multicast pattern (int16, -1 = unicast)
+//	14-15  counter label (int16, -1 = none)
+//	16-19  destination address (word index)
+//	20-27  sequence number
+//	28-29  wire payload size in bytes
+//	30-31  functional payload length in words
+
+const flagInOrder = 1 << 0
+
+func encodeClient(b []byte, c Client) error {
+	if c.Node < 0 || int64(c.Node) > math.MaxUint32 {
+		return fmt.Errorf("packet: node id %d not encodable", c.Node)
+	}
+	if c.Kind < 0 || c.Kind >= NumClients {
+		return fmt.Errorf("packet: client kind %d not encodable", c.Kind)
+	}
+	binary.LittleEndian.PutUint32(b, uint32(c.Node))
+	b[4] = byte(c.Kind)
+	return nil
+}
+
+func decodeClient(b []byte) (Client, error) {
+	c := Client{Node: topo.NodeID(binary.LittleEndian.Uint32(b)), Kind: ClientKind(b[4])}
+	if c.Kind >= NumClients {
+		return Client{}, fmt.Errorf("packet: client kind %d out of range", c.Kind)
+	}
+	return c, nil
+}
+
+// Encode serializes the packet. It fails on packets that do not satisfy
+// Validate or whose fields fall outside the wire format's ranges, so any
+// successfully encoded packet decodes back to an identical one.
+func (p *Packet) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Kind < 0 || p.Kind > Message {
+		return nil, fmt.Errorf("packet: kind %d not encodable", p.Kind)
+	}
+	if p.Multicast < NoMulticast {
+		return nil, fmt.Errorf("packet: multicast id %d not encodable", p.Multicast)
+	}
+	if p.Counter < NoCounter || p.Counter > math.MaxInt16 {
+		return nil, fmt.Errorf("packet: counter id %d not encodable", p.Counter)
+	}
+	if p.Addr < 0 || int64(p.Addr) > math.MaxUint32 {
+		return nil, fmt.Errorf("packet: address %d not encodable", p.Addr)
+	}
+	if len(p.Payload) > math.MaxUint16 {
+		return nil, fmt.Errorf("packet: %d payload words not encodable", len(p.Payload))
+	}
+	out := make([]byte, HeaderBytes+8*len(p.Payload))
+	out[0] = byte(p.Kind)
+	if p.InOrder {
+		out[1] |= flagInOrder
+	}
+	if err := encodeClient(out[2:7], p.Src); err != nil {
+		return nil, err
+	}
+	if err := encodeClient(out[7:12], p.Dst); err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint16(out[12:14], uint16(int16(p.Multicast)))
+	binary.LittleEndian.PutUint16(out[14:16], uint16(int16(p.Counter)))
+	binary.LittleEndian.PutUint32(out[16:20], uint32(p.Addr))
+	binary.LittleEndian.PutUint64(out[20:28], p.Seq)
+	binary.LittleEndian.PutUint16(out[28:30], uint16(p.Bytes))
+	binary.LittleEndian.PutUint16(out[30:32], uint16(len(p.Payload)))
+	for i, v := range p.Payload {
+		binary.LittleEndian.PutUint64(out[HeaderBytes+8*i:], math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// Decode parses an encoded packet. It rejects inputs whose length does
+// not match the declared payload, whose enumerated fields are out of
+// range, or whose decoded packet fails Validate — so every decoded
+// packet is well-formed and re-encodes to the identical bytes.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < HeaderBytes {
+		return nil, fmt.Errorf("packet: %d bytes shorter than the %d-byte header", len(b), HeaderBytes)
+	}
+	p := &Packet{Kind: Kind(b[0])}
+	if p.Kind > Message {
+		return nil, fmt.Errorf("packet: kind %d out of range", p.Kind)
+	}
+	if b[1]&^flagInOrder != 0 {
+		return nil, fmt.Errorf("packet: unknown flags %#x", b[1])
+	}
+	p.InOrder = b[1]&flagInOrder != 0
+	var err error
+	if p.Src, err = decodeClient(b[2:7]); err != nil {
+		return nil, err
+	}
+	if p.Dst, err = decodeClient(b[7:12]); err != nil {
+		return nil, err
+	}
+	p.Multicast = MulticastID(int16(binary.LittleEndian.Uint16(b[12:14])))
+	if p.Multicast < NoMulticast {
+		return nil, fmt.Errorf("packet: multicast id %d out of range", p.Multicast)
+	}
+	p.Counter = CounterID(int16(binary.LittleEndian.Uint16(b[14:16])))
+	if p.Counter < NoCounter {
+		return nil, fmt.Errorf("packet: counter id %d out of range", p.Counter)
+	}
+	p.Addr = int(binary.LittleEndian.Uint32(b[16:20]))
+	p.Seq = binary.LittleEndian.Uint64(b[20:28])
+	p.Bytes = int(binary.LittleEndian.Uint16(b[28:30]))
+	words := int(binary.LittleEndian.Uint16(b[30:32]))
+	if len(b) != HeaderBytes+8*words {
+		return nil, fmt.Errorf("packet: %d bytes, want %d for %d payload words", len(b), HeaderBytes+8*words, words)
+	}
+	if words > 0 {
+		p.Payload = make([]float64, words)
+		for i := range p.Payload {
+			p.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[HeaderBytes+8*i:]))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

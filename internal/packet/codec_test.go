@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// corpusPackets are the valid packets of the unit tests plus wire-format
+// corner cases; they seed both the codec tests and the fuzz corpus.
+func corpusPackets() []Packet {
+	return []Packet{
+		{Kind: Write, Counter: 0, Bytes: 32},
+		{Kind: Accumulate, Counter: 1, Bytes: 16},
+		{Kind: Message, Counter: NoCounter, Bytes: 64},
+		{Kind: Write, Src: Client{Node: 7, Kind: Slice2}, Dst: Client{Node: 511, Kind: HTIS},
+			Multicast: NoMulticast, Counter: 9, Addr: 1024, Bytes: 16,
+			Payload: []float64{1.5, -2.25}, InOrder: true, Seq: 42},
+		{Kind: Write, Src: Client{Node: 1, Kind: Slice0}, Dst: Client{Node: 2, Kind: Accum1},
+			Multicast: 255, Counter: 3, Bytes: 8, Payload: []float64{math.Pi}},
+		{Kind: Write, Counter: 0, Bytes: 0, Multicast: 0},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for i, p := range corpusPackets() {
+		enc, err := p.Encode()
+		if err != nil {
+			t.Fatalf("packet %d: encode: %v", i, err)
+		}
+		if len(enc) != HeaderBytes+8*len(p.Payload) {
+			t.Fatalf("packet %d: encoded %d bytes", i, len(enc))
+		}
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("packet %d: decode: %v", i, err)
+		}
+		re, err := q.Encode()
+		if err != nil {
+			t.Fatalf("packet %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("packet %d: re-encoding differs", i)
+		}
+		if q.Kind != p.Kind || q.Src != p.Src || q.Dst != p.Dst || q.Multicast != p.Multicast ||
+			q.Counter != p.Counter || q.Addr != p.Addr || q.Bytes != p.Bytes ||
+			q.InOrder != p.InOrder || q.Seq != p.Seq || len(q.Payload) != len(p.Payload) {
+			t.Fatalf("packet %d: round trip changed fields: %+v -> %+v", i, p, *q)
+		}
+		for k := range p.Payload {
+			if math.Float64bits(q.Payload[k]) != math.Float64bits(p.Payload[k]) {
+				t.Fatalf("packet %d: payload word %d changed", i, k)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	bad := []Packet{
+		{Kind: Write, Counter: 0, Bytes: 257},            // fails Validate
+		{Kind: Message, Counter: 2, Bytes: 8},            // fails Validate
+		{Kind: Kind(9), Counter: 0, Bytes: 8},            // unknown kind
+		{Kind: Write, Counter: 0, Addr: -1},              // negative address
+		{Kind: Write, Counter: 0, Multicast: -2},         // below the sentinel
+		{Kind: Write, Counter: math.MaxInt16 + 1},        // counter overflow
+		{Kind: Write, Counter: 0, Src: Client{Kind: 99}}, // bad client kind
+		{Kind: Write, Counter: 0, Src: Client{Node: -1}}, // bad node
+		{Kind: Write, Counter: 0, Dst: Client{Kind: -1}}, // bad client kind
+	}
+	for i, p := range bad {
+		if _, err := p.Encode(); err == nil {
+			t.Errorf("bad packet %d encoded", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := (&Packet{Kind: Write, Counter: 0, Bytes: 8}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	cases := [][]byte{
+		valid[:HeaderBytes-1],                               // truncated header
+		append(append([]byte(nil), valid...), 0),            // trailing bytes
+		corrupt(func(b []byte) { b[0] = 9 }),                // unknown kind
+		corrupt(func(b []byte) { b[1] = 0x80 }),             // unknown flag
+		corrupt(func(b []byte) { b[6] = 99 }),               // bad src client kind
+		corrupt(func(b []byte) { b[30] = 1 }),               // declared payload missing
+		corrupt(func(b []byte) { b[28], b[29] = 2, 1 }),     // Bytes=258 fails Validate
+		corrupt(func(b []byte) { b[14], b[15] = 254, 255 }), // counter -2
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("malformed input %d decoded", i)
+		}
+	}
+}
+
+// FuzzPacketRoundTrip fuzzes the codec's core invariant: any byte string
+// either fails Decode, or decodes to a packet that passes Validate and
+// re-encodes to exactly the input bytes (the encoding is canonical).
+func FuzzPacketRoundTrip(f *testing.F) {
+	for _, p := range corpusPackets() {
+		enc, err := p.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderBytes+8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoded packet fails Validate: %v", err)
+		}
+		re, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded packet fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+		q, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded packet fails to decode: %v", err)
+		}
+		if q.WireBytes() != p.WireBytes() {
+			t.Fatalf("wire size changed across round trip")
+		}
+	})
+}

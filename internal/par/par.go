@@ -1,0 +1,146 @@
+// Package par is the deterministic goroutine-parallel compute layer.
+//
+// Anton itself gets bit-reproducible parallelism from fixed communication
+// schedules: every reduction combines its operands in a wired-in order, so
+// a simulation step produces the same bits no matter how phases overlap in
+// time. This package gives the reproduction's host-side compute the same
+// property. The rules are:
+//
+//   - Work is decomposed into shards whose count and boundaries depend only
+//     on the problem (never on the worker count).
+//   - Shard results are combined strictly in shard-index order.
+//   - The worker count therefore only decides *where* a shard runs, never
+//     what is summed with what — so float results are bit-identical for
+//     Workers=1, Workers=4, and Workers=GOMAXPROCS.
+//
+// All helpers run inline on the calling goroutine when the resolved worker
+// count (or the amount of work) is 1, so a Workers=1 run spawns no
+// goroutines at all.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n >= 1 is used as given; zero or
+// negative values mean runtime.GOMAXPROCS(0). This is the shared convention
+// for every Workers field and -workers flag in the repository.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForChunks splits [0, n) into one contiguous chunk per worker and runs
+// body(lo, hi) for each chunk, concurrently when workers > 1. body must
+// only write state owned by its own index range; under that contract the
+// result is independent of the worker count and of scheduling.
+//
+// Chunk boundaries DO depend on the worker count here, so ForChunks is only
+// appropriate when chunk bodies write disjoint outputs (no accumulation
+// across iterations). For order-sensitive reductions use MapReduce.
+func ForChunks(workers, n int, body func(lo, hi int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo, hi := k*n/w, (k+1)*n/w
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParFor runs body(i) for every i in [0, n), distributing contiguous index
+// blocks over the given number of workers. Each iteration must own its
+// outputs (write only state indexed by i); no iteration order may be
+// assumed.
+func ParFor(workers, n int, body func(i int)) {
+	ForChunks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// MapReduce evaluates mapFn for every shard in [0, shards) on up to
+// workers goroutines and feeds the results to combine strictly in
+// shard-index order. Shards are handed out dynamically (an atomic work
+// counter), so uneven shard costs still load-balance, but the combine
+// order — and therefore any float summation the caller performs in
+// combine — is fixed by the shard decomposition alone. combine always runs
+// on the calling goroutine.
+//
+// combine(s, r) is invoked once per shard with s ascending from 0 to
+// shards-1; r is mapFn(s)'s result. A shard's result is released to the
+// garbage collector as soon as it has been combined, so peak memory is
+// bounded by the out-of-order completion window, not by the shard count.
+func MapReduce[T any](workers, shards int, mapFn func(shard int) T, combine func(shard int, r T)) {
+	w := Workers(workers)
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		for s := 0; s < shards; s++ {
+			combine(s, mapFn(s))
+		}
+		return
+	}
+
+	type slot struct {
+		r    T
+		done bool
+	}
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		results = make([]slot, shards)
+		next    int64 = 0 // next shard to hand out
+	)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(atomic.AddInt64(&next, 1)) - 1
+				if s >= shards {
+					return
+				}
+				r := mapFn(s)
+				mu.Lock()
+				results[s] = slot{r: r, done: true}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	// Drain in shard order on the calling goroutine, releasing each result
+	// as soon as it is combined.
+	for s := 0; s < shards; s++ {
+		mu.Lock()
+		for !results[s].done {
+			cond.Wait()
+		}
+		r := results[s].r
+		var zero T
+		results[s] = slot{r: zero, done: true}
+		mu.Unlock()
+		combine(s, r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestParForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 64, 1000} {
+			hits := make([]int32, n)
+			ParFor(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 8} {
+		n := 103
+		covered := make([]int32, n)
+		ForChunks(workers, n, func(lo, hi int) {
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapReduceCombinesInShardOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const shards = 37
+		var order []int
+		MapReduce(workers, shards, func(s int) int { return s * s }, func(s, r int) {
+			if r != s*s {
+				t.Fatalf("shard %d result %d", s, r)
+			}
+			order = append(order, s)
+		})
+		if len(order) != shards {
+			t.Fatalf("workers=%d: %d combines, want %d", workers, len(order), shards)
+		}
+		for i, s := range order {
+			if s != i {
+				t.Fatalf("workers=%d: combine order %v", workers, order)
+			}
+		}
+	}
+}
+
+// The core determinism property: a float reduction with non-associative
+// rounding gives bit-identical results for every worker count, because the
+// combine order is fixed by the shard decomposition.
+func TestMapReduceFloatBitDeterminism(t *testing.T) {
+	const shards = 64
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]float64, shards)
+	for s := range data {
+		data[s] = make([]float64, 1000)
+		for i := range data[s] {
+			data[s][i] = (rng.Float64() - 0.5) * rng.Float64() * 1e6
+		}
+	}
+	sum := func(workers int) float64 {
+		var total float64
+		MapReduce(workers, shards, func(s int) float64 {
+			var partial float64
+			for _, v := range data[s] {
+				partial += v
+			}
+			return partial
+		}, func(_ int, r float64) { total += r })
+		return total
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 3, 4, 8, runtime.GOMAXPROCS(0)} {
+		if got := sum(workers); got != want {
+			t.Fatalf("workers=%d: sum %x differs from workers=1 sum %x", workers, got, want)
+		}
+	}
+}
+
+func TestMapReduceZeroShards(t *testing.T) {
+	called := false
+	MapReduce(4, 0, func(s int) int { return s }, func(int, int) { called = true })
+	if called {
+		t.Fatal("combine called with zero shards")
+	}
+}
+
+func TestParForInlineWhenSingleWorker(t *testing.T) {
+	// Workers=1 must run on the calling goroutine: writes need no
+	// synchronization and are immediately visible.
+	total := 0
+	ParFor(1, 100, func(i int) { total += i })
+	if total != 4950 {
+		t.Fatalf("inline sum = %d", total)
+	}
+}

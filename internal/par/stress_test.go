@@ -1,0 +1,53 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressOverlappingCalls hammers the primitives with many concurrent,
+// nested, and overlapping invocations. It exists for the race detector:
+// `go test -race ./internal/par` must pass while ParFor, ForChunks, and
+// MapReduce calls from independent goroutines interleave freely, since the
+// harness runs experiment sweeps concurrently with kernels that themselves
+// fan out.
+func TestStressOverlappingCalls(t *testing.T) {
+	callers := 8
+	rounds := 20
+	if testing.Short() {
+		rounds = 8
+	}
+	var grand int64
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Nested use: a MapReduce whose shards run ParFors.
+				var local int64
+				MapReduce(1+c%4, 16, func(s int) int64 {
+					var sub int64
+					ParFor(2, 50, func(i int) {
+						atomic.AddInt64(&sub, int64(s+i))
+					})
+					return sub
+				}, func(_ int, v int64) { local += v })
+				ForChunks(3, 64, func(lo, hi int) {
+					atomic.AddInt64(&grand, int64(hi-lo))
+				})
+				// Every caller and round must agree: sum over s of
+				// (50*s + 0+1+...+49) = 50*(0+..+15) + 16*1225.
+				if want := int64(50*120 + 16*1225); local != want {
+					t.Errorf("caller %d round %d: local = %d, want %d", c, r, local, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if want := int64(callers) * int64(rounds) * 64; grand != want {
+		t.Fatalf("grand = %d, want %d", grand, want)
+	}
+}
