@@ -11,10 +11,24 @@ set -eu
 echo "== go vet =="
 go vet ./...
 
+echo "== go vet (fault layer) =="
+go vet ./internal/fault
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race -short =="
 go test -race -short ./...
+
+echo "== fault suite (-race -short) =="
+# The fault-injection subsystem and its consumers: the injector unit
+# tests, the scenario goldens, the collective losslessness test, and the
+# zero-rate golden-identity gate. Redundant with the full sweep above,
+# but kept explicit so a fault regression is named in CI output.
+go test -race -short ./internal/fault ./internal/collective ./cmd/antonbench
+
+echo "== fuzz corpus (FuzzFaultPlanParse seeds) =="
+# Runs the checked-in seed corpus as regular tests (no fuzzing time).
+go test -run FuzzFaultPlanParse ./internal/fault
 
 echo "CI checks passed."

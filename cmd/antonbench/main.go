@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	antonbench [-quick] [-workers N] list
-//	antonbench [-quick] [-workers N] <experiment-id> [...]
-//	antonbench [-quick] [-workers N] all
+//	antonbench [-quick] [-workers N] [-faults PLAN] list
+//	antonbench [-quick] [-workers N] [-faults PLAN] <experiment-id> [...]
+//	antonbench [-quick] [-workers N] [-faults PLAN] all
+//
+// A fault plan perturbs every experiment's simulators with seeded,
+// deterministic faults, e.g.:
+//
+//	antonbench -faults 'seed=42,corrupt=1e-3,retry=50ns' fig5
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"runtime"
 	"time"
 
+	"anton/internal/fault"
 	"anton/internal/harness"
 )
 
@@ -22,8 +28,18 @@ func main() {
 	quick := flag.Bool("quick", false, "reduce sampling density of the expensive experiments")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines for experiment sweeps (1 = sequential; output is identical for any value)")
+	faults := flag.String("faults", "",
+		"fault plan applied to every experiment (e.g. seed=42,corrupt=1e-3,retry=50ns,drop=1e-3,timeout=10us)")
 	flag.Parse()
 	harness.SetWorkers(*workers)
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antonbench: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		harness.SetFaultPlan(&plan)
+	}
 	args := flag.Args()
 	if len(args) == 0 || args[0] == "list" {
 		fmt.Println("experiments:")

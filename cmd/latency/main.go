@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N]
+//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N] [-faults PLAN]
+//
+// A fault plan injects seeded, deterministic faults into the measured
+// path, e.g. -faults 'seed=7,corrupt=0.1,retry=50ns' shows the retry
+// cost on the measured link.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"runtime"
 
+	"anton/internal/fault"
 	"anton/internal/machine"
 	"anton/internal/noc"
 	"anton/internal/packet"
@@ -38,8 +43,11 @@ func parseTorus(s string) (topo.Torus, error) {
 	return topo.NewTorus(x, y, z), nil
 }
 
-func measure(tor topo.Torus, from, to topo.Coord, bytes int) sim.Dur {
+func measure(tor topo.Torus, from, to topo.Coord, bytes int, plan *fault.Plan) (sim.Dur, fault.Stats) {
 	s := sim.New()
+	if plan != nil {
+		fault.Attach(s, *plan)
+	}
 	m := machine.New(s, tor, noc.DefaultModel())
 	src := packet.Client{Node: m.Torus.ID(from), Kind: packet.Slice0}
 	dst := packet.Client{Node: m.Torus.ID(to), Kind: packet.Slice0}
@@ -47,7 +55,7 @@ func measure(tor topo.Torus, from, to topo.Coord, bytes int) sim.Dur {
 	m.Client(dst).Wait(0, 1, func() { avail = s.Now() })
 	m.Client(src).Write(dst, 0, 0, bytes)
 	s.Run()
-	return sim.Dur(avail)
+	return sim.Dur(avail), m.Faults().Stats()
 }
 
 func main() {
@@ -58,7 +66,19 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep payload sizes 0..256")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines for the payload sweep (1 = sequential; output is identical for any value)")
+	faultsFlag := flag.String("faults", "",
+		"fault plan for the measured machine (e.g. seed=7,corrupt=0.1,retry=50ns)")
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faultsFlag != "" {
+		p, err := fault.ParsePlan(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latency:", err)
+			os.Exit(1)
+		}
+		plan = &p
+	}
 
 	tor, err := parseTorus(*torusFlag)
 	if err != nil {
@@ -86,13 +106,16 @@ func main() {
 		sizes := []int{0, 8, 16, 32, 64, 128, 192, 256}
 		lats := make([]sim.Dur, len(sizes))
 		par.ParFor(par.Workers(*workers), len(sizes), func(i int) {
-			lats[i] = measure(tor, from, to, sizes[i])
+			lats[i], _ = measure(tor, from, to, sizes[i], plan)
 		})
 		for i, b := range sizes {
 			fmt.Printf("%8d %12.1f\n", b, lats[i].Ns())
 		}
 		return
 	}
-	fmt.Printf("one-way software-to-software latency (%dB payload): %.1f ns\n",
-		*bytes, measure(tor, from, to, *bytes).Ns())
+	lat, stats := measure(tor, from, to, *bytes, plan)
+	fmt.Printf("one-way software-to-software latency (%dB payload): %.1f ns\n", *bytes, lat.Ns())
+	if plan != nil {
+		fmt.Printf("faults (plan %v): %v\n", plan, stats)
+	}
 }

@@ -14,6 +14,7 @@ package cluster
 import (
 	"math/bits"
 
+	"anton/internal/fault"
 	"anton/internal/sim"
 )
 
@@ -65,11 +66,17 @@ type Cluster struct {
 
 	nic []*sim.Resource // per-rank injection (gap/bandwidth) pacing
 	cpu []*sim.Resource // per-rank receive processing
+
+	// faults is the fault injector attached to the simulator, or nil.
+	// It models fabric-level message loss repaired by a sender-side
+	// retransmission timeout (the reliability layer commodity
+	// interconnects run in firmware or the MPI transport).
+	faults *fault.Injector
 }
 
 // New builds a cluster of n ranks.
 func New(s *sim.Sim, n int, m Model) *Cluster {
-	c := &Cluster{Sim: s, Model: m, N: n}
+	c := &Cluster{Sim: s, Model: m, N: n, faults: fault.FromSim(s)}
 	c.nic = make([]*sim.Resource, n)
 	c.cpu = make([]*sim.Resource, n)
 	for i := 0; i < n; i++ {
@@ -80,26 +87,42 @@ func New(s *sim.Sim, n int, m Model) *Cluster {
 }
 
 // Send transmits bytes from src to dst; onRecv fires when the receiving
-// rank's software has the message (after its receive overhead).
+// rank's software has the message (after its receive overhead). Under a
+// fault plan, the fabric may lose the message; the sender detects the
+// loss after the plan's timeout and retransmits (paying the injection
+// overheads again), repeating until a copy gets through.
 func (c *Cluster) Send(src, dst, bytes int, onRecv func(at sim.Time)) {
 	m := c.Model
 	service := m.Gap
 	if bw := sim.Dur(bytes) * m.PsPerByte; bw > service {
 		service = bw
 	}
-	c.nic[src].Acquire(service, func(start sim.Time) {
-		arrive := start.Add(m.SendOverhead + m.Latency + sim.Dur(bytes)*m.PsPerByte)
-		c.Sim.At(arrive, func() {
-			c.cpu[dst].Acquire(m.RecvOverhead, func(s2 sim.Time) {
-				c.Sim.At(s2.Add(m.RecvOverhead), func() {
-					if onRecv != nil {
-						onRecv(c.Sim.Now())
-					}
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		c.nic[src].Acquire(service, func(start sim.Time) {
+			if c.faults.Drop(src, attempts) {
+				attempts++
+				c.Sim.At(start.Add(c.faults.DropTimeout()), attempt)
+				return
+			}
+			arrive := start.Add(m.SendOverhead + m.Latency + sim.Dur(bytes)*m.PsPerByte)
+			c.Sim.At(arrive, func() {
+				c.cpu[dst].Acquire(m.RecvOverhead, func(s2 sim.Time) {
+					c.Sim.At(s2.Add(m.RecvOverhead), func() {
+						if onRecv != nil {
+							onRecv(c.Sim.Now())
+						}
+					})
 				})
 			})
 		})
-	})
+	}
+	attempt()
 }
+
+// Faults returns the fault injector driving this cluster, or nil.
+func (c *Cluster) Faults() *fault.Injector { return c.faults }
 
 // TransferManyMessages sends the given total payload from rank src to rank
 // dst split into count equal messages and calls done when the last byte

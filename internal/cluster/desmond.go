@@ -135,10 +135,15 @@ type PhaseTimes struct {
 
 // Measure runs the three comm phases independently (each on a fresh
 // cluster at rest, as the paper's per-phase profiling does).
-func Measure(n int, model Model) PhaseTimes {
+func Measure(n int, model Model) PhaseTimes { return MeasureSim(n, model, sim.New) }
+
+// MeasureSim is Measure with a caller-supplied simulator constructor,
+// which is how the harness attaches its fault plan to the Desmond
+// baseline: each phase runs on a fresh simulator from newSim.
+func MeasureSim(n int, model Model, newSim func() *sim.Sim) PhaseTimes {
 	var pt PhaseTimes
 	run := func(f func(d *Desmond, done func(sim.Time))) sim.Dur {
-		s := sim.New()
+		s := newSim()
 		d := NewDesmond(New(s, n, model))
 		var at sim.Time
 		f(d, func(tm sim.Time) { at = tm })

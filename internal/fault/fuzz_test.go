@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlanParse checks the parser never panics on arbitrary input
+// and that any accepted plan round-trips through its canonical form:
+// ParsePlan(p.String()) must succeed and re-render to the same string
+// and the same plan value.
+func FuzzFaultPlanParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=42",
+		"seed=42,corrupt=1e-3,retry=50ns",
+		"seed=7,corrupt=0.1,retry=50ns,stall=1e-4,stalldur=200ns",
+		"drop=1e-3,timeout=10us",
+		"slow=0.05,slowfactor=1.5",
+		"links=0:X+;5:Y-",
+		"down=0:X+@1us:5us;3:Z-@0ns:100ns",
+		"seed=1,corrupt=2",          // invalid rate
+		"retry=-5ns",                // invalid duration
+		"links=0:Q+",                // invalid port
+		"down=0:X+@5us:1us",         // unordered window
+		"corrupt=nan",               // non-finite
+		"seed=42,corrupt=1e-3,,",    // empty field
+		"retry=9999999999999999ms",  // overflow
+		"stalldur=123ps,timeout=1ms",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p1, err := ParsePlan(s)
+		if err != nil {
+			return // rejected input: no panic is all we require
+		}
+		if verr := p1.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted an invalid plan: %v", s, verr)
+		}
+		s1 := p1.String()
+		p2, err := ParsePlan(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", s1, s, err)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q -> %q", s, s1, s2)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round-trip changed the plan: %+v vs %+v (via %q)", p1, p2, s1)
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// The -faults flag syntax is a comma-separated key=value list:
+//
+//	seed=42,corrupt=1e-3,retry=50ns,stall=1e-4,stalldur=200ns,
+//	drop=1e-3,timeout=10us,slow=0.05,slowfactor=1.5,
+//	links=0:X+;5:Y-,down=0:X+@1us:5us
+//
+// Rates are probabilities in [0,1]; durations take a ps/ns/us/ms
+// suffix; links are node:port with port one of X+ X- Y+ Y- Z+ Z-;
+// outage windows are link@from:until. String renders the same syntax
+// canonically (fixed key order, zero-valued keys omitted, durations in
+// ns when whole nanoseconds), so Plan round-trips through
+// ParsePlan(p.String()) exactly.
+
+// String formats p in canonical -faults syntax.
+func (p Plan) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	add("seed", strconv.FormatUint(p.Seed, 10))
+	if p.CorruptRate != 0 {
+		add("corrupt", fmtRate(p.CorruptRate))
+	}
+	if p.RetryLatency != 0 {
+		add("retry", fmtDur(p.RetryLatency))
+	}
+	if p.StallRate != 0 {
+		add("stall", fmtRate(p.StallRate))
+	}
+	if p.StallDur != 0 {
+		add("stalldur", fmtDur(p.StallDur))
+	}
+	if p.DropRate != 0 {
+		add("drop", fmtRate(p.DropRate))
+	}
+	if p.DropTimeout != 0 {
+		add("timeout", fmtDur(p.DropTimeout))
+	}
+	if p.SlowRate != 0 {
+		add("slow", fmtRate(p.SlowRate))
+	}
+	if p.SlowFactor != 0 {
+		add("slowfactor", fmtRate(p.SlowFactor))
+	}
+	if len(p.Links) > 0 {
+		ls := make([]string, len(p.Links))
+		for i, l := range p.Links {
+			ls[i] = l.String()
+		}
+		add("links", strings.Join(ls, ";"))
+	}
+	if len(p.Down) > 0 {
+		ws := make([]string, len(p.Down))
+		for i, w := range p.Down {
+			ws[i] = fmt.Sprintf("%v@%s:%s", w.Link, fmtDur(sim.Dur(w.From)), fmtDur(sim.Dur(w.Until)))
+		}
+		add("down", strings.Join(ws, ";"))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the -faults flag syntax and validates the result.
+// The empty string parses to the zero plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return p, fmt.Errorf("fault: empty field in plan %q", s)
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("fault: field %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "corrupt":
+			p.CorruptRate, err = parseRate(v)
+		case "retry":
+			p.RetryLatency, err = parseDur(v)
+		case "stall":
+			p.StallRate, err = parseRate(v)
+		case "stalldur":
+			p.StallDur, err = parseDur(v)
+		case "drop":
+			p.DropRate, err = parseRate(v)
+		case "timeout":
+			p.DropTimeout, err = parseDur(v)
+		case "slow":
+			p.SlowRate, err = parseRate(v)
+		case "slowfactor":
+			p.SlowFactor, err = parseFactor(v)
+		case "links":
+			p.Links, err = parseLinks(v)
+		case "down":
+			p.Down, err = parseWindows(v)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return p, fmt.Errorf("fault: %s: %v", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// MustParsePlan is ParsePlan for known-good literals in tests and
+// experiment definitions; it panics on error.
+func MustParsePlan(s string) Plan {
+	p, err := ParsePlan(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate checks the structural invariants ParsePlan promises.
+func (p Plan) Validate() error {
+	checkRate := func(name string, r float64) error {
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0,1]", name, r)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		r    float64
+	}{{"corrupt", p.CorruptRate}, {"stall", p.StallRate}, {"drop", p.DropRate}, {"slow", p.SlowRate}} {
+		if err := checkRate(c.name, c.r); err != nil {
+			return err
+		}
+	}
+	for _, c := range []struct {
+		name string
+		d    sim.Dur
+	}{{"retry", p.RetryLatency}, {"stalldur", p.StallDur}, {"timeout", p.DropTimeout}} {
+		if c.d < 0 {
+			return fmt.Errorf("fault: negative %s duration %v", c.name, c.d)
+		}
+	}
+	if f := p.SlowFactor; f != 0 && (math.IsNaN(f) || f < 1 || f > 100) {
+		return fmt.Errorf("fault: slowfactor %v outside [1,100]", f)
+	}
+	for _, l := range p.Links {
+		if l.Node < 0 {
+			return fmt.Errorf("fault: negative link node in %v", l)
+		}
+	}
+	for _, w := range p.Down {
+		if w.Link.Node < 0 {
+			return fmt.Errorf("fault: negative link node in outage %v", w.Link)
+		}
+		if w.From < 0 || w.Until < w.From {
+			return fmt.Errorf("fault: outage window [%v,%v) is not ordered", w.From, w.Until)
+		}
+	}
+	return nil
+}
+
+// fmtRate round-trips any finite float through strconv exactly.
+func fmtRate(r float64) string { return strconv.FormatFloat(r, 'g', -1, 64) }
+
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0, fmt.Errorf("rate %q is not finite", s)
+	}
+	return r, nil
+}
+
+func parseFactor(s string) (float64, error) {
+	f, err := parseRate(s)
+	if err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// fmtDur renders whole nanoseconds as "<n>ns", anything finer as
+// "<n>ps"; both re-parse to the identical picosecond count.
+func fmtDur(d sim.Dur) string {
+	if d%1000 == 0 {
+		return strconv.FormatInt(int64(d/1000), 10) + "ns"
+	}
+	return strconv.FormatInt(int64(d), 10) + "ps"
+}
+
+var durUnits = []struct {
+	suffix string
+	ps     float64
+}{{"ps", 1}, {"ns", 1000}, {"us", 1e6}, {"ms", 1e9}}
+
+func parseDur(s string) (sim.Dur, error) {
+	for _, u := range durUnits {
+		if num, ok := strings.CutSuffix(s, u.suffix); ok {
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, err
+			}
+			ps := v * u.ps
+			if math.IsNaN(ps) || ps < 0 || ps > float64(1<<62) {
+				return 0, fmt.Errorf("duration %q out of range", s)
+			}
+			return sim.Dur(math.Round(ps)), nil
+		}
+	}
+	return 0, fmt.Errorf("duration %q needs a ps/ns/us/ms suffix", s)
+}
+
+var portNames = func() map[string]topo.Port {
+	m := make(map[string]topo.Port, len(topo.Ports))
+	for _, p := range topo.Ports {
+		m[p.String()] = p
+	}
+	return m
+}()
+
+func parseLink(s string) (Link, error) {
+	nodeStr, portStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return Link{}, fmt.Errorf("link %q is not node:port", s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return Link{}, err
+	}
+	port, ok := portNames[portStr]
+	if !ok {
+		return Link{}, fmt.Errorf("unknown port %q (want X+ X- Y+ Y- Z+ Z-)", portStr)
+	}
+	return Link{Node: node, Port: port}, nil
+}
+
+func parseLinks(s string) ([]Link, error) {
+	var out []Link
+	for _, f := range strings.Split(s, ";") {
+		l, err := parseLink(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	// Canonical order plus dedup keeps String() stable under re-parse.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return topo.PortIndex(out[i].Port) < topo.PortIndex(out[j].Port)
+	})
+	dedup := out[:0]
+	for i, l := range out {
+		if i == 0 || l != out[i-1] {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup, nil
+}
+
+func parseWindows(s string) ([]Window, error) {
+	var out []Window
+	for _, f := range strings.Split(s, ";") {
+		linkStr, span, ok := strings.Cut(f, "@")
+		if !ok {
+			return nil, fmt.Errorf("outage %q is not link@from:until", f)
+		}
+		l, err := parseLink(linkStr)
+		if err != nil {
+			return nil, err
+		}
+		fromStr, untilStr, ok := strings.Cut(span, ":")
+		if !ok {
+			return nil, fmt.Errorf("outage span %q is not from:until", span)
+		}
+		from, err := parseDur(fromStr)
+		if err != nil {
+			return nil, err
+		}
+		until, err := parseDur(untilStr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Window{Link: l, From: sim.Time(from), Until: sim.Time(until)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Link.Node != b.Link.Node {
+			return a.Link.Node < b.Link.Node
+		}
+		if pi, pj := topo.PortIndex(a.Link.Port), topo.PortIndex(b.Link.Port); pi != pj {
+			return pi < pj
+		}
+		return a.From < b.From
+	})
+	return out, nil
+}

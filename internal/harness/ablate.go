@@ -28,7 +28,7 @@ func ablateAllReduce(quick bool) string {
 	rs := sweep(len(tori), func(k int) trio {
 		tor := tori[k]
 		run := func(mk func(m *machine.Machine) func(func(topo.NodeID) []float64, func(sim.Time))) sim.Dur {
-			s := sim.New()
+			s := NewSim()
 			m := machine.New(s, tor, noc.DefaultModel())
 			var done sim.Time
 			mk(m)(nil, func(at sim.Time) { done = at })
@@ -145,11 +145,11 @@ func ablateStaging(quick bool) string {
 	// directly (26 destinations x fine-grained packets) or staged
 	// (3 stages x 2 consolidated messages carrying the aggregated data,
 	// with marshalling between stages).
-	s1 := sim.New()
+	s1 := NewSim()
 	m1 := machine.Default512(s1)
 	direct := directNeighborExchange(m1, 13, 64) // 13 packets x 64 B to each neighbour
 
-	s2 := sim.New()
+	s2 := NewSim()
 	m2 := machine.Default512(s2)
 	// Each staged message consolidates one third of the total volume:
 	// 26 neighbours x 832 B / (3 stages x 2 messages) ~ 3.6 KB per message.
@@ -168,7 +168,7 @@ func ablateMulticast(quick bool) string {
 	// Broadcast 32 packets of 64 B from one node to the 7 other nodes of
 	// its X ring.
 	runMulticast := func() (sim.Dur, uint64) {
-		s := sim.New()
+		s := NewSim()
 		m := machine.Default512(s)
 		collective.InstallRingBroadcast(m, topo.X, packet.Slice0, 0)
 		var done sim.Time
@@ -184,7 +184,7 @@ func ablateMulticast(quick bool) string {
 		return sim.Dur(done), m.Stats().Sent
 	}
 	runUnicast := func() (sim.Dur, uint64) {
-		s := sim.New()
+		s := NewSim()
 		m := machine.Default512(s)
 		var done sim.Time
 		root := m.Client(packet.Client{Node: 0, Kind: packet.Slice0})

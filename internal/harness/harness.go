@@ -11,7 +11,9 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"anton/internal/fault"
 	"anton/internal/par"
+	"anton/internal/sim"
 )
 
 // Experiment is a runnable reproduction of one table or figure.
@@ -42,6 +44,31 @@ func SetWorkers(n int) { atomic.StoreInt64(&workers, int64(n)) }
 
 // Workers reports the current sweep pool size.
 func Workers() int { return int(atomic.LoadInt64(&workers)) }
+
+// faultPlan is the fault plan applied to every simulator the harness
+// builds (nil = fault-free). Set from the antonbench -faults flag.
+var faultPlan atomic.Pointer[fault.Plan]
+
+// SetFaultPlan installs the fault plan every subsequently built
+// experiment simulator runs under; nil restores the fault-free models.
+// Each simulator instance gets its own injector seeded from the plan,
+// so experiment reports remain byte-identical at any worker count, and
+// a zero-rate plan reproduces the fault-free reports bit for bit.
+func SetFaultPlan(p *fault.Plan) { faultPlan.Store(p) }
+
+// FaultPlan returns the currently installed plan, or nil.
+func FaultPlan() *fault.Plan { return faultPlan.Load() }
+
+// NewSim returns a fresh simulator with the current fault plan (if any)
+// attached. Every experiment builds its simulators through this, which
+// is how one -faults flag perturbs the whole evaluation.
+func NewSim() *sim.Sim {
+	s := sim.New()
+	if p := faultPlan.Load(); p != nil {
+		fault.Attach(s, *p)
+	}
+	return s
+}
 
 // sweep runs n independent jobs — each building its own sim.Sim and
 // machine — on the package worker pool and returns the results in index

@@ -11,7 +11,7 @@ import (
 func TestRegistry(t *testing.T) {
 	want := []string{
 		"ablate-allreduce", "ablate-multicast", "ablate-staging",
-		"fig11", "fig12", "fig13", "fig5", "fig6", "fig7",
+		"faultsweep", "fig11", "fig12", "fig13", "fig5", "fig6", "fig7",
 		"halfbw", "migsync", "scaling", "table1", "table2", "table3",
 	}
 	all := All()

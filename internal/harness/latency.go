@@ -32,7 +32,7 @@ func hopPath(h int) topo.Coord {
 // OneWayLatency measures a single counted remote write from slice0 at the
 // origin to slice0 at dst on a fresh 512-node machine.
 func OneWayLatency(dst topo.Coord, bytes int) sim.Dur {
-	s := sim.New()
+	s := NewSim()
 	m := machine.Default512(s)
 	return measureWrite(m, topo.C(0, 0, 0), dst, bytes, false)
 }
@@ -75,7 +75,7 @@ func fig5(quick bool) string {
 			bytes int
 			bidir bool
 		}{{0, false}, {0, true}, {256, false}, {256, true}} {
-			s := sim.New()
+			s := NewSim()
 			m := machine.Default512(s)
 			lat := measureWrite(m, topo.C(0, 0, 0), dst, c.bytes, c.bidir)
 			cells[k] = fmt.Sprintf("%.1f", lat.Ns())

@@ -21,7 +21,7 @@ func agedStepTime(mp *mdmap.Mapping, age int) sim.Dur {
 
 func fig11(quick bool) string {
 	out := header("Figure 11: step time evolution with and without bond program regeneration")
-	s := sim.New()
+	s := NewSim()
 	m := machine.Default512(s)
 	cfg := mdmap.DefaultConfig()
 	cfg.MigrationInterval = 0
@@ -69,7 +69,7 @@ func fig12(quick bool) string {
 	// independent and run on the experiment worker pool.
 	avgs := sweep(len(intervals), func(k int) sim.Dur {
 		iv := intervals[k]
-		s := sim.New()
+		s := NewSim()
 		m := machine.Default512(s)
 		cfg := mdmap.DefaultConfig()
 		cfg.Atoms = 17758
@@ -97,7 +97,7 @@ func fig12(quick bool) string {
 
 func fig13(quick bool) string {
 	out := header("Figure 13: machine activity for two time steps (logic analyzer)")
-	s := sim.New()
+	s := NewSim()
 	m := machine.Default512(s)
 	cfg := mdmap.DefaultConfig()
 	cfg.MigrationInterval = 0

@@ -16,7 +16,7 @@ import (
 // equal messages. Messages larger than the 256-byte payload limit are
 // carried in multiple packets, exactly as Anton software would send them.
 func antonTransfer(hops, totalBytes, count int) sim.Dur {
-	s := sim.New()
+	s := NewSim()
 	m := machine.Default512(s)
 	dst := packet.Client{Node: m.Torus.ID(topo.C(hops, 0, 0)), Kind: packet.Slice0}
 	src := m.Client(packet.Client{Node: 0, Kind: packet.Slice0})
@@ -48,7 +48,7 @@ func antonTransfer(hops, totalBytes, count int) sim.Dur {
 }
 
 func infinibandTransfer(totalBytes, count int) sim.Dur {
-	s := sim.New()
+	s := NewSim()
 	c := cluster.New(s, 2, cluster.DDR2InfiniBand())
 	var done sim.Time
 	c.TransferManyMessages(0, 1, totalBytes, count, func(at sim.Time) { done = at })

@@ -15,7 +15,7 @@ import (
 // antonAllReduce measures one dimension-ordered global all-reduce on a
 // fresh machine of the given torus.
 func antonAllReduce(tor topo.Torus, bytes int) sim.Dur {
-	s := sim.New()
+	s := NewSim()
 	m := machine.New(s, tor, noc.DefaultModel())
 	ar := collective.NewAllReduce(m, collective.DefaultConfig(bytes))
 	var done sim.Time
@@ -48,7 +48,7 @@ func table2(quick bool) string {
 
 	// The comparisons of Section IV.B.4.
 	anton512 := antonAllReduce(topo.NewTorus(8, 8, 8), 32)
-	s := sim.New()
+	s := NewSim()
 	ib := cluster.New(s, 512, cluster.DDR2InfiniBand())
 	var ibDone sim.Time
 	ib.AllReduce(32, func(at sim.Time) { ibDone = at })
@@ -62,7 +62,7 @@ func table2(quick bool) string {
 
 func migsync(quick bool) string {
 	out := header("Migration synchronization step (Section IV.B.5)")
-	s := sim.New()
+	s := NewSim()
 	m := machine.Default512(s)
 	d := mdmap.MeasureMigrationSync(m)
 	out += fmt.Sprintf("in-order multicast write to all 26 nearest neighbours, all nodes\nsimultaneously: %.2f us (paper: 0.56 us)\n", d.Us())

@@ -36,7 +36,7 @@ func scaling(quick bool) string {
 	// sweep runs on the experiment worker pool.
 	pts := sweep(len(configs), func(k int) point {
 		c := configs[k]
-		s := sim.New()
+		s := NewSim()
 		m := machine.New(s, c.tor, noc.DefaultModel())
 		cfg := mdmap.DefaultConfig()
 		cfg.MigrationInterval = 0

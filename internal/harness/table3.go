@@ -13,7 +13,7 @@ import (
 // returns averaged range-limited and long-range step timings (migration
 // disabled, matching the per-step-type profiling of Table 3).
 func antonStepTimes(atoms int) (rl, lr mdmap.StepTiming) {
-	s := sim.New()
+	s := NewSim()
 	m := machine.Default512(s)
 	cfg := mdmap.DefaultConfig()
 	cfg.Atoms = atoms
@@ -76,8 +76,8 @@ func table3(quick bool) string {
 	fftComm := lr.FFT - 2*sim.Us // ~2us of FFT arithmetic per node chain
 	thermoComm := lr.Thermo - 500*sim.Ns
 
-	des := cluster.Measure(512, cluster.DDR2InfiniBand())
-	d := cluster.NewDesmond(cluster.New(sim.New(), 512, cluster.DDR2InfiniBand()))
+	des := cluster.MeasureSim(512, cluster.DDR2InfiniBand(), NewSim)
+	d := cluster.NewDesmond(cluster.New(NewSim(), 512, cluster.DDR2InfiniBand()))
 	desRLTotal := des.RangeLimitedComm + d.RangeLimitedCompute
 	desLRTotal := des.LongRangeComm + d.LongRangeCompute
 	desAvgComm := (des.RangeLimitedComm + des.LongRangeComm) / 2

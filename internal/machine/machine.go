@@ -16,6 +16,7 @@ package machine
 import (
 	"fmt"
 
+	"anton/internal/fault"
 	"anton/internal/noc"
 	"anton/internal/packet"
 	"anton/internal/sim"
@@ -47,6 +48,11 @@ type Machine struct {
 	// n's outgoing link on port p for the given service time. Used by the
 	// logic-analyzer tracing of Figure 13.
 	OnLink func(n topo.NodeID, p topo.Port, start sim.Time, service sim.Dur)
+
+	// faults is the fault injector attached to the simulator, or nil.
+	// A nil injector (and a zero-rate plan) adds exactly zero to every
+	// latency, so the fault-free model is reproduced bit for bit.
+	faults *fault.Injector
 
 	stats Stats
 }
@@ -133,10 +139,11 @@ type Node struct {
 // model.
 func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 	m := &Machine{
-		Sim:   s,
-		Torus: t,
-		Model: model,
-		ord:   make(map[pairKey]*ordState),
+		Sim:    s,
+		Torus:  t,
+		Model:  model,
+		ord:    make(map[pairKey]*ordState),
+		faults: fault.FromSim(s),
 	}
 	m.nodes = make([]*Node, t.Nodes())
 	for id := range m.nodes {
@@ -178,6 +185,20 @@ func (m *Machine) Client(c packet.Client) *Client {
 // Stats returns a snapshot of the machine's traffic statistics.
 func (m *Machine) Stats() Stats { return m.stats }
 
+// Faults returns the fault injector driving this machine, or nil.
+func (m *Machine) Faults() *fault.Injector { return m.faults }
+
+// nextStart predicts the service-start time Resource.Acquire will use
+// for the next acquisition of r: the fault layer needs it to decide
+// whether a traversal falls inside a scheduled link outage.
+func nextStart(s *sim.Sim, r *sim.Resource) sim.Time {
+	start := r.FreeAt()
+	if now := s.Now(); start < now {
+		start = now
+	}
+	return start
+}
+
 // ResetStats zeroes the traffic statistics (link busy-time accumulators in
 // the resources are not reset).
 func (m *Machine) ResetStats() { m.stats = Stats{perNode: m.stats.perNode}; m.stats.reset() }
@@ -217,6 +238,9 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 	model := &m.Model
 	gap := model.SendGap(src.Addr.Kind)
 	lat := model.SendLatency(src.Addr.Kind)
+	// Clock-skewed (slow) nodes pay proportionally more to assemble and
+	// inject a packet.
+	lat += m.faults.NodeSlowExtra(int(src.Addr.Node), lat)
 	src.send.Acquire(gap, func(start sim.Time) {
 		if m.OnSend != nil {
 			m.OnSend(pkt, start)
@@ -244,13 +268,17 @@ func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, ste
 	model := &m.Model
 	hop := route[step]
 	link := node.links[topo.PortIndex(hop.Port)]
-	service := model.LinkService(pkt.WireBytes())
 	m.Sim.At(head, func() {
-		link.Acquire(service, func(start sim.Time) {
+		service := model.LinkService(pkt.WireBytes())
+		// Fault layer: CRC-detected flit corruption repaired by
+		// link-level retransmission, transient stalls, and scheduled
+		// outages all extend both the link occupancy and the arrival.
+		extra := m.faults.LinkExtra(int(node.ID), hop.Port, service, nextStart(m.Sim, link))
+		link.Acquire(service+extra, func(start sim.Time) {
 			if m.OnLink != nil {
-				m.OnLink(node.ID, hop.Port, start, service)
+				m.OnLink(node.ID, hop.Port, start, service+extra)
 			}
-			arrival := start.Add(model.AdapterPair[hop.Port.Dim])
+			arrival := start.Add(extra).Add(model.AdapterPair[hop.Port.Dim])
 			next := m.nodes[m.Torus.ID(hop.To)]
 			if step == len(route)-1 {
 				avail := arrival.Add(model.ExtraSerialization(pkt.WireBytes()) + model.DstRing)
@@ -295,13 +323,14 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 		}
 		port := port
 		link := node.links[topo.PortIndex(port)]
-		service := model.LinkService(pkt.WireBytes())
 		m.Sim.At(head, func() {
-			link.Acquire(service, func(start sim.Time) {
+			service := model.LinkService(pkt.WireBytes())
+			extra := m.faults.LinkExtra(int(node.ID), port, service, nextStart(m.Sim, link))
+			link.Acquire(service+extra, func(start sim.Time) {
 				if m.OnLink != nil {
-					m.OnLink(node.ID, port, start, service)
+					m.OnLink(node.ID, port, start, service+extra)
 				}
-				arrival := start.Add(model.AdapterPair[port.Dim])
+				arrival := start.Add(extra).Add(model.AdapterPair[port.Dim])
 				next := m.nodes[m.Torus.ID(m.Torus.Neighbor(node.Coord, port))]
 				m.multicastAt(pkt, next, arrival, false)
 			})
@@ -317,7 +346,9 @@ func (m *Machine) deliverLocal(pkt *packet.Packet, dst *Client, at sim.Time) {
 	service := model.ClientService(dst.Addr.Kind, pkt.WireBytes())
 	m.Sim.At(at, func() {
 		dst.recv.Acquire(service, func(start sim.Time) {
-			avail := start.Add(model.DeliverLatency(dst.Addr.Kind))
+			lat := model.DeliverLatency(dst.Addr.Kind)
+			lat += m.faults.NodeSlowExtra(int(dst.Addr.Node), lat)
+			avail := start.Add(lat)
 			if pkt.InOrder {
 				m.commitInOrder(pkt, dst.Addr, avail, func() { m.commit(pkt, dst) })
 				return

@@ -86,6 +86,15 @@ type Sim struct {
 	seq    uint64
 	events eventHeap
 	nfired uint64
+
+	// Faults is the attachment point for the deterministic
+	// fault-injection layer (internal/fault): fault.Attach stores its
+	// *Injector here and the model constructors (machine.New,
+	// cluster.New) pick it up, so one plan perturbs every model built
+	// on this simulator. The kernel itself never touches it — event
+	// ordering stays exactly as documented above, which is what makes
+	// the fault layer's draws replayable.
+	Faults any
 }
 
 // New returns a fresh simulator at time zero.

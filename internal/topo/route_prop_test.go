@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property-based check of dimension-order routing: for randomized torus
+// sizes and node pairs, a route must be exactly as long as the torus
+// Manhattan distance (per-dimension shortest wrap), must never revisit
+// a node, and must take the shorter ring direction in every dimension.
+// The fault layer's per-link draw streams assume routes are minimal and
+// loop-free, so this is a load-bearing invariant, not just geometry.
+func TestRoutePropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		tor := NewTorus(1+rng.Intn(9), 1+rng.Intn(9), 1+rng.Intn(9))
+		a := C(rng.Intn(tor.DimX), rng.Intn(tor.DimY), rng.Intn(tor.DimZ))
+		b := C(rng.Intn(tor.DimX), rng.Intn(tor.DimY), rng.Intn(tor.DimZ))
+		route := tor.Route(a, b)
+
+		// Manhattan distance on the torus: per dimension, the shorter
+		// of going up or wrapping down.
+		want := 0
+		for d := X; d < NumDims; d++ {
+			n := tor.Size(d)
+			diff := b.Get(d) - a.Get(d)
+			if diff < 0 {
+				diff += n
+			}
+			if n-diff < diff {
+				diff = n - diff
+			}
+			want += diff
+		}
+		if len(route) != want {
+			t.Fatalf("torus %v %v->%v: route length %d, Manhattan distance %d",
+				tor, a, b, len(route), want)
+		}
+		if got := tor.Hops(a, b); got != want {
+			t.Fatalf("torus %v %v->%v: Hops %d, Manhattan distance %d", tor, a, b, got, want)
+		}
+
+		// Route is a connected chain from a to b that never revisits a
+		// node, and each step moves through the port it names.
+		visited := map[NodeID]bool{tor.ID(a): true}
+		cur := a
+		for i, s := range route {
+			if tor.ID(s.From) != tor.ID(cur) {
+				t.Fatalf("torus %v %v->%v: step %d starts at %v, expected %v", tor, a, b, i, s.From, cur)
+			}
+			if next := tor.Neighbor(s.From, s.Port); tor.ID(next) != tor.ID(s.To) {
+				t.Fatalf("torus %v %v->%v: step %d port %v reaches %v, step says %v",
+					tor, a, b, i, s.Port, next, s.To)
+			}
+			id := tor.ID(s.To)
+			if visited[id] {
+				t.Fatalf("torus %v %v->%v: route revisits node %v", tor, a, b, s.To)
+			}
+			visited[id] = true
+			cur = s.To
+		}
+		if tor.ID(cur) != tor.ID(b) {
+			t.Fatalf("torus %v %v->%v: route ends at %v", tor, a, b, cur)
+		}
+
+		// Wraparound picks the shorter direction: the signed delta never
+		// exceeds half the ring in magnitude, and ties (exactly half on
+		// an even ring) break positive, deterministically.
+		for d := X; d < NumDims; d++ {
+			n := tor.Size(d)
+			delta := tor.Delta(a, b, d)
+			if abs(delta) > n/2 {
+				t.Fatalf("torus %v %v->%v: dim %v delta %d exceeds half ring %d",
+					tor, a, b, d, delta, n/2)
+			}
+			if n%2 == 0 && abs(delta) == n/2 && delta < 0 && n > 1 {
+				t.Fatalf("torus %v %v->%v: dim %v half-ring tie broke negative (%d)",
+					tor, a, b, d, delta)
+			}
+		}
+	}
+}
+
+// Routing is pure: the same pair yields the identical route object
+// every time (the fault layer replays traversal sequences and would
+// observe any nondeterminism here as diverging fault sites).
+func TestRouteDeterministic(t *testing.T) {
+	tor := NewTorus(6, 4, 8)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a := C(rng.Intn(6), rng.Intn(4), rng.Intn(8))
+		b := C(rng.Intn(6), rng.Intn(4), rng.Intn(8))
+		r1 := tor.Route(a, b)
+		r2 := tor.Route(a, b)
+		if len(r1) != len(r2) {
+			t.Fatalf("%v->%v: lengths differ", a, b)
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("%v->%v: step %d differs: %v vs %v", a, b, i, r1[i], r2[i])
+			}
+		}
+	}
+}
