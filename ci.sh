@@ -31,4 +31,29 @@ echo "== fuzz corpus (FuzzFaultPlanParse seeds) =="
 # Runs the checked-in seed corpus as regular tests (no fuzzing time).
 go test -run FuzzFaultPlanParse ./internal/fault
 
+echo "== metrics-suite =="
+# The measured-latency observability layer: unit and property tests
+# (histogram merge associativity/commutativity, count conservation),
+# the Figure 6 measured-vs-calibrated cross-validation, the golden
+# report/JSON/trace artifacts, and — under the race detector — the
+# parallel shard-merge test plus the metrics-on golden-identity gate
+# (recording must not change a byte of any simulation result).
+go test ./internal/metrics
+go test -race -run 'ParallelShardMerge|MetricsArtifactsWorkerIndependent|MetricsZeroOverheadIdentity' \
+	./internal/metrics ./internal/harness ./cmd/antonbench
+
+echo "== metrics worker-independence (BENCH_metrics.json) =="
+# The machine-readable artifact must be byte-identical at any -workers
+# setting; exercised through the real CLI.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for w in 1 4 8; do
+	go run ./cmd/antonbench -quick -workers "$w" \
+		-bench-out "$tmpdir/bench-$w.json" -trace-out "$tmpdir/trace-$w.json" metrics >/dev/null
+done
+cmp "$tmpdir/bench-1.json" "$tmpdir/bench-4.json"
+cmp "$tmpdir/bench-1.json" "$tmpdir/bench-8.json"
+cmp "$tmpdir/trace-1.json" "$tmpdir/trace-4.json"
+cmp "$tmpdir/trace-1.json" "$tmpdir/trace-8.json"
+
 echo "CI checks passed."

@@ -6,11 +6,19 @@
 //	antonbench [-quick] [-workers N] [-faults PLAN] list
 //	antonbench [-quick] [-workers N] [-faults PLAN] <experiment-id> [...]
 //	antonbench [-quick] [-workers N] [-faults PLAN] all
+//	antonbench [-quick] [-bench-out BENCH_metrics.json] [-trace-out trace.json] metrics
 //
 // A fault plan perturbs every experiment's simulators with seeded,
 // deterministic faults, e.g.:
 //
 //	antonbench -faults 'seed=42,corrupt=1e-3,retry=50ns' fig5
+//
+// The metrics experiment renders the measured-latency observability
+// report; alongside it, -bench-out writes the machine-readable
+// BENCH_metrics.json payload and -trace-out a chrome://tracing-
+// compatible JSON export (open it at chrome://tracing or
+// https://ui.perfetto.dev). Both files are byte-deterministic at any
+// -workers setting.
 package main
 
 import (
@@ -30,6 +38,10 @@ func main() {
 		"goroutines for experiment sweeps (1 = sequential; output is identical for any value)")
 	faults := flag.String("faults", "",
 		"fault plan applied to every experiment (e.g. seed=42,corrupt=1e-3,retry=50ns,drop=1e-3,timeout=10us)")
+	benchOut := flag.String("bench-out", "",
+		"write the metrics experiment's machine-readable payload (BENCH_metrics.json) to this file")
+	traceOut := flag.String("trace-out", "",
+		"write the metrics experiment's chrome://tracing JSON export to this file")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 	if *faults != "" {
@@ -63,7 +75,27 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		fmt.Println(e.Run(*quick))
+		if id == "metrics" && (*benchOut != "" || *traceOut != "") {
+			// The metrics experiment has machine-readable artifacts beyond
+			// its report; run it once and write everything asked for.
+			a := harness.MetricsArtifacts(*quick)
+			fmt.Println(a.Report)
+			writeArtifact(*benchOut, a.BenchJSON)
+			writeArtifact(*traceOut, a.Trace)
+		} else {
+			fmt.Println(e.Run(*quick))
+		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
 	}
+}
+
+func writeArtifact(path string, data []byte) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "antonbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
 }

@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N] [-faults PLAN]
+//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N] [-faults PLAN] [-trace-out FILE]
 //
 // A fault plan injects seeded, deterministic faults into the measured
 // path, e.g. -faults 'seed=7,corrupt=0.1,retry=50ns' shows the retry
 // cost on the measured link.
+//
+// -trace-out writes a chrome://tracing-compatible JSON export of the
+// measured run (open it at chrome://tracing or https://ui.perfetto.dev):
+// every lifecycle event of the measured packet — injection, per-hop link
+// serialization, delivery, counter arm/fire — on its own process/thread
+// rows.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"anton/internal/fault"
 	"anton/internal/machine"
+	"anton/internal/metrics"
 	"anton/internal/noc"
 	"anton/internal/packet"
 	"anton/internal/par"
@@ -43,10 +50,14 @@ func parseTorus(s string) (topo.Torus, error) {
 	return topo.NewTorus(x, y, z), nil
 }
 
-func measure(tor topo.Torus, from, to topo.Coord, bytes int, plan *fault.Plan) (sim.Dur, fault.Stats) {
+func measure(tor topo.Torus, from, to topo.Coord, bytes int, plan *fault.Plan, record bool) (sim.Dur, fault.Stats, *metrics.Recorder) {
 	s := sim.New()
 	if plan != nil {
 		fault.Attach(s, *plan)
+	}
+	var rec *metrics.Recorder
+	if record {
+		rec = metrics.Attach(s)
 	}
 	m := machine.New(s, tor, noc.DefaultModel())
 	src := packet.Client{Node: m.Torus.ID(from), Kind: packet.Slice0}
@@ -55,7 +66,7 @@ func measure(tor topo.Torus, from, to topo.Coord, bytes int, plan *fault.Plan) (
 	m.Client(dst).Wait(0, 1, func() { avail = s.Now() })
 	m.Client(src).Write(dst, 0, 0, bytes)
 	s.Run()
-	return sim.Dur(avail), m.Faults().Stats()
+	return sim.Dur(avail), m.Faults().Stats(), rec
 }
 
 func main() {
@@ -68,6 +79,8 @@ func main() {
 		"goroutines for the payload sweep (1 = sequential; output is identical for any value)")
 	faultsFlag := flag.String("faults", "",
 		"fault plan for the measured machine (e.g. seed=7,corrupt=0.1,retry=50ns)")
+	traceOut := flag.String("trace-out", "",
+		"write a chrome://tracing JSON export of the measured run to this file")
 	flag.Parse()
 
 	var plan *fault.Plan
@@ -106,16 +119,24 @@ func main() {
 		sizes := []int{0, 8, 16, 32, 64, 128, 192, 256}
 		lats := make([]sim.Dur, len(sizes))
 		par.ParFor(par.Workers(*workers), len(sizes), func(i int) {
-			lats[i], _ = measure(tor, from, to, sizes[i], plan)
+			lats[i], _, _ = measure(tor, from, to, sizes[i], plan, false)
 		})
 		for i, b := range sizes {
 			fmt.Printf("%8d %12.1f\n", b, lats[i].Ns())
 		}
 		return
 	}
-	lat, stats := measure(tor, from, to, *bytes, plan)
+	lat, stats, rec := measure(tor, from, to, *bytes, plan, *traceOut != "")
 	fmt.Printf("one-way software-to-software latency (%dB payload): %.1f ns\n", *bytes, lat.Ns())
 	if plan != nil {
 		fmt.Printf("faults (plan %v): %v\n", plan, stats)
+	}
+	if *traceOut != "" {
+		data := rec.ChromeTrace()
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "latency:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *traceOut, len(data))
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"math/bits"
 
 	"anton/internal/fault"
+	"anton/internal/metrics"
 	"anton/internal/sim"
 )
 
@@ -72,11 +73,15 @@ type Cluster struct {
 	// retransmission timeout (the reliability layer commodity
 	// interconnects run in firmware or the MPI transport).
 	faults *fault.Injector
+
+	// metrics is the lifecycle recorder attached to the simulator, or
+	// nil; it observes per-message software-to-software latencies.
+	metrics *metrics.Recorder
 }
 
 // New builds a cluster of n ranks.
 func New(s *sim.Sim, n int, m Model) *Cluster {
-	c := &Cluster{Sim: s, Model: m, N: n, faults: fault.FromSim(s)}
+	c := &Cluster{Sim: s, Model: m, N: n, faults: fault.FromSim(s), metrics: metrics.FromSim(s)}
 	c.nic = make([]*sim.Resource, n)
 	c.cpu = make([]*sim.Resource, n)
 	for i := 0; i < n; i++ {
@@ -96,6 +101,19 @@ func (c *Cluster) Send(src, dst, bytes int, onRecv func(at sim.Time)) {
 	service := m.Gap
 	if bw := sim.Dur(bytes) * m.PsPerByte; bw > service {
 		service = bw
+	}
+	if rec := c.metrics; rec != nil {
+		// Latency is measured from the software issuing the send to the
+		// receiver software holding the message, so NIC queueing and any
+		// timeout-and-retransmit recoveries are part of the sample.
+		seq := rec.ClusterSend(src, dst, bytes, c.Sim.Now())
+		user := onRecv
+		onRecv = func(at sim.Time) {
+			rec.ClusterDeliver(seq, dst, at)
+			if user != nil {
+				user(at)
+			}
+		}
 	}
 	attempts := 0
 	var attempt func()

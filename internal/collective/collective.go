@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"anton/internal/machine"
+	"anton/internal/metrics"
 	"anton/internal/packet"
 	"anton/internal/sim"
 	"anton/internal/topo"
@@ -113,12 +114,20 @@ type AllReduce struct {
 	// partial holds each node's current partial-sum vector.
 	partial [][]float64
 	dimOff  [topo.NumDims]packet.MulticastID
+
+	// rec, when a metrics recorder is attached to the machine's
+	// simulator, receives one labelled phase span per reduction round
+	// (first injection to last node's completion of that round).
+	rec        *metrics.Recorder
+	roundStart [topo.NumDims]sim.Time
+	roundOpen  [topo.NumDims]bool
+	roundLeft  [topo.NumDims]int
 }
 
 // NewAllReduce installs the multicast patterns for all three dimensions and
 // returns a ready all-reduce.
 func NewAllReduce(m *machine.Machine, cfg Config) *AllReduce {
-	ar := &AllReduce{m: m, cfg: cfg, partial: make([][]float64, m.Torus.Nodes())}
+	ar := &AllReduce{m: m, cfg: cfg, partial: make([][]float64, m.Torus.Nodes()), rec: m.Metrics()}
 	id := cfg.McBase
 	for d := topo.X; d < topo.NumDims; d++ {
 		ar.dimOff[d] = id
@@ -149,6 +158,10 @@ func (ar *AllReduce) Run(initial func(topo.NodeID) []float64, done func(at sim.T
 			done(at)
 		}
 	}
+	for d := topo.X; d < topo.NumDims; d++ {
+		ar.roundOpen[d] = false
+		ar.roundLeft[d] = nodes
+	}
 	for id := 0; id < nodes; id++ {
 		ar.round(topo.NodeID(id), topo.X, perNodeDone)
 	}
@@ -162,6 +175,10 @@ func (ar *AllReduce) Result(n topo.NodeID) []float64 { return ar.partial[n] }
 // redundantly compute the new partial sum.
 func (ar *AllReduce) round(n topo.NodeID, d topo.Dim, done func(sim.Time)) {
 	m := ar.m
+	if ar.rec != nil && !ar.roundOpen[d] {
+		ar.roundOpen[d] = true
+		ar.roundStart[d] = m.Sim.Now()
+	}
 	ringN := m.Torus.Size(d)
 	c := m.Torus.Coord(n)
 	r := c.Get(d)
@@ -193,6 +210,12 @@ func (ar *AllReduce) round(n topo.NodeID, d topo.Dim, done func(sim.Time)) {
 		}
 		cost := ar.cfg.RoundOverhead + sim.Dur(ar.cfg.Values*ringN)*ar.cfg.PerValueAdd
 		m.Sim.After(cost, func() {
+			if ar.rec != nil {
+				ar.roundLeft[d]--
+				if ar.roundLeft[d] == 0 {
+					ar.rec.Span(fmt.Sprintf("all-reduce round %v", d), ar.roundStart[d], m.Sim.Now())
+				}
+			}
 			if d < topo.Z {
 				ar.round(n, d+1, done)
 				return

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"anton/internal/fault"
+	"anton/internal/metrics"
 	"anton/internal/par"
 	"anton/internal/sim"
 )
@@ -59,13 +60,32 @@ func SetFaultPlan(p *fault.Plan) { faultPlan.Store(p) }
 // FaultPlan returns the currently installed plan, or nil.
 func FaultPlan() *fault.Plan { return faultPlan.Load() }
 
+// metricsOn, when set, attaches a lifecycle recorder to every simulator
+// the harness builds. Recording is purely passive, so every experiment
+// report is byte-identical with the toggle on or off — which the
+// zero-overhead identity test pins against the golden reports.
+var metricsOn atomic.Bool
+
+// SetMetrics toggles lifecycle recording on every subsequently built
+// experiment simulator. The metrics experiment attaches its own
+// recorders and does not need the toggle; it exists so tests (and
+// future experiments) can prove recording never changes a result.
+func SetMetrics(on bool) { metricsOn.Store(on) }
+
+// MetricsEnabled reports whether harness simulators record lifecycles.
+func MetricsEnabled() bool { return metricsOn.Load() }
+
 // NewSim returns a fresh simulator with the current fault plan (if any)
-// attached. Every experiment builds its simulators through this, which
-// is how one -faults flag perturbs the whole evaluation.
+// and, when enabled, a metrics recorder attached. Every experiment
+// builds its simulators through this, which is how one -faults flag
+// perturbs the whole evaluation.
 func NewSim() *sim.Sim {
 	s := sim.New()
 	if p := faultPlan.Load(); p != nil {
 		fault.Attach(s, *p)
+	}
+	if metricsOn.Load() {
+		metrics.Attach(s)
 	}
 	return s
 }

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMetricsArtifactsWorkerIndependent pins the determinism contract of
+// the observability layer: the metrics report, the BENCH_metrics.json
+// payload, and the chrome-trace export must be byte-identical at any
+// sweep worker count, because every sweep point owns a private simulator
+// and recorder and shard histograms merge exactly in index order.
+func TestMetricsArtifactsWorkerIndependent(t *testing.T) {
+	defer SetWorkers(Workers())
+	SetWorkers(1)
+	want := MetricsArtifacts(true)
+	for _, w := range []int{4, 8, 0} {
+		SetWorkers(w)
+		got := MetricsArtifacts(true)
+		if got.Report != want.Report {
+			t.Fatalf("workers=%d: report differs from sequential run\n--- sequential ---\n%s\n--- workers=%d ---\n%s",
+				w, want.Report, w, got.Report)
+		}
+		if !bytes.Equal(got.BenchJSON, want.BenchJSON) {
+			t.Fatalf("workers=%d: BENCH_metrics.json differs from sequential run", w)
+		}
+		if !bytes.Equal(got.Trace, want.Trace) {
+			t.Fatalf("workers=%d: chrome trace differs from sequential run", w)
+		}
+	}
+}
+
+// TestMetricsToggleIdentity checks the other half of the contract on one
+// cheap experiment: attaching recorders to every harness simulator does
+// not change a byte of a report that never looks at them (the full
+// metrics-on golden identity test lives in cmd/antonbench).
+func TestMetricsToggleIdentity(t *testing.T) {
+	fig6, ok := Lookup("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	SetMetrics(false)
+	want := fig6.Run(false)
+	SetMetrics(true)
+	defer SetMetrics(false)
+	if got := fig6.Run(false); got != want {
+		t.Fatalf("metrics-on fig6 report differs from metrics-off:\n--- off ---\n%s\n--- on ---\n%s", want, got)
+	}
+}

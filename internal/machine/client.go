@@ -107,7 +107,7 @@ func (c *Client) counter(ctr packet.CounterID) *sim.Counter {
 // counters, so no additional cost applies: processing slices and HTIS units
 // directly poll their local synchronization counters.
 func (c *Client) Wait(ctr packet.CounterID, target uint64, fn func()) {
-	c.counter(ctr).Wait(target, 0, fn)
+	c.counter(ctr).Wait(target, 0, c.armed(ctr, target, fn))
 }
 
 // WaitRemote schedules fn once counter ctr reaches target, charging the
@@ -115,7 +115,22 @@ func (c *Client) Wait(ctr packet.CounterID, target uint64, fn func()) {
 // accumulation memory's counters across the on-chip network, which the
 // paper notes incurs much larger polling latencies.
 func (c *Client) WaitRemote(ctr packet.CounterID, target uint64, fn func()) {
-	c.counter(ctr).Wait(target, c.m.Model.AccumPoll, fn)
+	c.counter(ctr).Wait(target, c.m.Model.AccumPoll, c.armed(ctr, target, fn))
+}
+
+// armed brackets a counter wait with count-arm/count-fire lifecycle
+// events when a metrics recorder is attached. The wrapping fires fn in
+// exactly the same event slot, so recording never perturbs the schedule.
+func (c *Client) armed(ctr packet.CounterID, target uint64, fn func()) func() {
+	rec := c.m.metrics
+	if rec == nil {
+		return fn
+	}
+	rec.CountArm(c.Addr, ctr, target, c.m.Sim.Now())
+	return func() {
+		rec.CountFire(c.Addr, ctr, target, c.m.Sim.Now())
+		fn()
+	}
 }
 
 // Mem returns n words of the client's local memory starting at addr. The

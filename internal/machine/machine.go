@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"anton/internal/fault"
+	"anton/internal/metrics"
 	"anton/internal/noc"
 	"anton/internal/packet"
 	"anton/internal/sim"
@@ -53,6 +54,11 @@ type Machine struct {
 	// A nil injector (and a zero-rate plan) adds exactly zero to every
 	// latency, so the fault-free model is reproduced bit for bit.
 	faults *fault.Injector
+
+	// metrics is the lifecycle recorder attached to the simulator, or
+	// nil. Recording is purely passive (append-only), so an attached
+	// recorder never changes a simulation result.
+	metrics *metrics.Recorder
 
 	stats Stats
 }
@@ -139,11 +145,12 @@ type Node struct {
 // model.
 func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 	m := &Machine{
-		Sim:    s,
-		Torus:  t,
-		Model:  model,
-		ord:    make(map[pairKey]*ordState),
-		faults: fault.FromSim(s),
+		Sim:     s,
+		Torus:   t,
+		Model:   model,
+		ord:     make(map[pairKey]*ordState),
+		faults:  fault.FromSim(s),
+		metrics: metrics.FromSim(s),
 	}
 	m.nodes = make([]*Node, t.Nodes())
 	for id := range m.nodes {
@@ -187,6 +194,9 @@ func (m *Machine) Stats() Stats { return m.stats }
 
 // Faults returns the fault injector driving this machine, or nil.
 func (m *Machine) Faults() *fault.Injector { return m.faults }
+
+// Metrics returns the lifecycle recorder observing this machine, or nil.
+func (m *Machine) Metrics() *metrics.Recorder { return m.metrics }
 
 // nextStart predicts the service-start time Resource.Acquire will use
 // for the next acquisition of r: the fault layer needs it to decide
@@ -247,6 +257,7 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 		}
 		m.stats.send(src.Addr.Node, pkt.WireBytes())
 		inject := start.Add(lat)
+		m.metrics.PacketSend(pkt.Seq, src.Addr, start, inject)
 		node := m.nodes[src.Addr.Node]
 		if pkt.Multicast != packet.NoMulticast {
 			m.multicastAt(pkt, node, inject, true)
@@ -274,12 +285,16 @@ func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, ste
 		// link-level retransmission, transient stalls, and scheduled
 		// outages all extend both the link occupancy and the arrival.
 		extra := m.faults.LinkExtra(int(node.ID), hop.Port, service, nextStart(m.Sim, link))
+		m.metrics.HopDepart(pkt.Seq, node.ID, hop.Port, m.Sim.Now())
 		link.Acquire(service+extra, func(start sim.Time) {
 			if m.OnLink != nil {
 				m.OnLink(node.ID, hop.Port, start, service+extra)
 			}
+			m.metrics.LinkTransfer(pkt.Seq, node.ID, hop.Port, start, service+extra,
+				pkt.WireBytes(), start.Sub(head))
 			arrival := start.Add(extra).Add(model.AdapterPair[hop.Port.Dim])
 			next := m.nodes[m.Torus.ID(hop.To)]
+			m.metrics.HopArrive(pkt.Seq, next.ID, arrival)
 			if step == len(route)-1 {
 				avail := arrival.Add(model.ExtraSerialization(pkt.WireBytes()) + model.DstRing)
 				m.deliverLocal(pkt, next.clients[pkt.Dst.Kind], avail)
@@ -326,12 +341,16 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 		m.Sim.At(head, func() {
 			service := model.LinkService(pkt.WireBytes())
 			extra := m.faults.LinkExtra(int(node.ID), port, service, nextStart(m.Sim, link))
+			m.metrics.HopDepart(pkt.Seq, node.ID, port, m.Sim.Now())
 			link.Acquire(service+extra, func(start sim.Time) {
 				if m.OnLink != nil {
 					m.OnLink(node.ID, port, start, service+extra)
 				}
+				m.metrics.LinkTransfer(pkt.Seq, node.ID, port, start, service+extra,
+					pkt.WireBytes(), start.Sub(head))
 				arrival := start.Add(extra).Add(model.AdapterPair[port.Dim])
 				next := m.nodes[m.Torus.ID(m.Torus.Neighbor(node.Coord, port))]
+				m.metrics.HopArrive(pkt.Seq, next.ID, arrival)
 				m.multicastAt(pkt, next, arrival, false)
 			})
 		})
@@ -346,6 +365,7 @@ func (m *Machine) deliverLocal(pkt *packet.Packet, dst *Client, at sim.Time) {
 	service := model.ClientService(dst.Addr.Kind, pkt.WireBytes())
 	m.Sim.At(at, func() {
 		dst.recv.Acquire(service, func(start sim.Time) {
+			m.metrics.DeliverStart(pkt.Seq, dst.Addr, start)
 			lat := model.DeliverLatency(dst.Addr.Kind)
 			lat += m.faults.NodeSlowExtra(int(dst.Addr.Node), lat)
 			avail := start.Add(lat)
@@ -405,6 +425,7 @@ func (m *Machine) commit(pkt *packet.Packet, dst *Client) {
 		dst.fifo.deliver(pkt)
 	}
 	m.stats.recv(dst.Addr.Node, pkt.WireBytes())
+	m.metrics.Deliver(pkt.Seq, dst.Addr, m.Sim.Now())
 	if m.OnDeliver != nil {
 		m.OnDeliver(pkt, dst.Addr, m.Sim.Now())
 	}

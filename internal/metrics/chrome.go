@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// Chrome-trace export: the recorder's event stream rendered in the Trace
+// Event Format that chrome://tracing (and Perfetto's legacy loader)
+// consumes. Each simulated node becomes a process; within a node, each
+// outgoing link and each network client becomes a thread. Packet stages
+// appear as complete ("X") events, counter arm/fire as instant ("i")
+// events, and collective phase spans under a synthetic "phases" process.
+//
+// The export is a pure function of the recorded stream: events are
+// ordered by (time, deterministic recording order) and floats are
+// formatted with fixed precision, so the JSON for a fixed (plan, seed)
+// run is byte-identical across hosts and worker counts.
+
+// Thread-id layout within a node's process: links use their dense port
+// index (0..5); clients follow at 10+kind.
+const (
+	tidClientBase = 10
+	phasesPid     = 1 << 20 // synthetic process for machine-wide phase spans
+	clusterPidOff = 1 << 16 // cluster ranks, offset so they never collide with nodes
+)
+
+// chromeEvent is one JSON line; buffered so the output can be sorted
+// deterministically before rendering.
+type chromeEvent struct {
+	ph       byte // 'X', 'i', 'M'
+	name     string
+	pid, tid int64
+	ts       sim.Time
+	dur      sim.Dur
+	order    int // recording order tie-break
+}
+
+// ChromeTrace renders the recorded run as chrome://tracing JSON.
+func (r *Recorder) ChromeTrace() []byte {
+	if r == nil {
+		return []byte("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n")
+	}
+	var evs []chromeEvent
+	emit := func(e chromeEvent) {
+		e.order = len(evs)
+		evs = append(evs, e)
+	}
+
+	// Pair up the span-shaped lifecycle events.
+	type key struct {
+		seq  uint64
+		node int32
+		sub  int32 // port or client, disambiguating parallel spans of one seq
+	}
+	openSer := make(map[key]sim.Time)    // serialize-start awaiting serialize-end
+	openDel := make(map[key]sim.Time)    // deliver-start awaiting deliver
+	openInj := make(map[uint64]sim.Time) // inject awaiting ring-enter
+	lastCl := make(map[uint64]sim.Time)  // cluster send awaiting deliver
+	clSrc := make(map[uint64]int32)
+
+	clientName := func(k int8) string {
+		if k < 0 {
+			return "?"
+		}
+		return packet.ClientKind(k).String()
+	}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case EvInject:
+			openInj[e.Seq] = e.At
+		case EvRingEnter:
+			if t0, ok := openInj[e.Seq]; ok {
+				delete(openInj, e.Seq)
+				emit(chromeEvent{ph: 'X', name: fmt.Sprintf("inject pkt %d", e.Seq),
+					pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: t0, dur: e.At.Sub(t0)})
+			}
+		case EvSerializeStart:
+			openSer[key{e.Seq, e.Node, int32(e.Port)}] = e.At
+		case EvSerializeEnd:
+			k := key{e.Seq, e.Node, int32(e.Port)}
+			if t0, ok := openSer[k]; ok {
+				delete(openSer, k)
+				emit(chromeEvent{ph: 'X', name: fmt.Sprintf("pkt %d (%dB)", e.Seq, e.Aux),
+					pid: int64(e.Node), tid: int64(e.Port), ts: t0, dur: e.At.Sub(t0)})
+			}
+		case EvDeliverStart:
+			openDel[key{e.Seq, e.Node, int32(e.Client)}] = e.At
+		case EvDeliver:
+			k := key{e.Seq, e.Node, int32(e.Client)}
+			if t0, ok := openDel[k]; ok {
+				delete(openDel, k)
+				emit(chromeEvent{ph: 'X', name: fmt.Sprintf("deliver pkt %d", e.Seq),
+					pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: t0, dur: e.At.Sub(t0)})
+			}
+		case EvCountArm:
+			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("arm ctr %d >= %d", e.Aux, e.Seq),
+				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
+		case EvCountFire:
+			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("fire ctr %d >= %d", e.Aux, e.Seq),
+				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
+		case EvClusterSend:
+			lastCl[e.Seq] = e.At
+			clSrc[e.Seq] = e.Node
+		case EvClusterDeliver:
+			if t0, ok := lastCl[e.Seq]; ok {
+				delete(lastCl, e.Seq)
+				emit(chromeEvent{ph: 'X', name: fmt.Sprintf("msg %d from rank %d", e.Seq, clSrc[e.Seq]),
+					pid: clusterPidOff + int64(e.Node), tid: 0, ts: t0, dur: e.At.Sub(t0)})
+			}
+		}
+	}
+	for i, s := range r.spans {
+		emit(chromeEvent{ph: 'X', name: s.Label, pid: phasesPid, tid: int64(i % 8),
+			ts: s.Start, dur: s.End.Sub(s.Start)})
+	}
+
+	// Name the processes and threads that actually appear.
+	pids := map[int64]bool{}
+	tids := map[[2]int64]bool{}
+	for _, e := range evs {
+		pids[e.pid] = true
+		tids[[2]int64{e.pid, e.tid}] = true
+	}
+	var meta []string
+	addMeta := func(pid, tid int64, kind, name string) {
+		if tid < 0 {
+			meta = append(meta, fmt.Sprintf(
+				`{"ph":"M","pid":%d,"name":"%s","args":{"name":"%s"}}`, pid, kind, name))
+			return
+		}
+		meta = append(meta, fmt.Sprintf(
+			`{"ph":"M","pid":%d,"tid":%d,"name":"%s","args":{"name":"%s"}}`, pid, tid, kind, name))
+	}
+	var pidList []int64
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Slice(pidList, func(i, j int) bool { return pidList[i] < pidList[j] })
+	for _, pid := range pidList {
+		switch {
+		case pid == phasesPid:
+			addMeta(pid, -1, "process_name", "phases")
+		case pid >= clusterPidOff:
+			addMeta(pid, -1, "process_name", fmt.Sprintf("rank %d", pid-clusterPidOff))
+		default:
+			addMeta(pid, -1, "process_name", fmt.Sprintf("node %d", pid))
+		}
+		var tidList []int64
+		for tk := range tids {
+			if tk[0] == pid {
+				tidList = append(tidList, tk[1])
+			}
+		}
+		sort.Slice(tidList, func(i, j int) bool { return tidList[i] < tidList[j] })
+		for _, tid := range tidList {
+			switch {
+			case pid == phasesPid:
+				addMeta(pid, tid, "thread_name", fmt.Sprintf("phase %d", tid))
+			case pid >= clusterPidOff:
+				addMeta(pid, tid, "thread_name", "messages")
+			case tid < tidClientBase:
+				addMeta(pid, tid, "thread_name", "link "+topo.Ports[tid].String())
+			default:
+				addMeta(pid, tid, "thread_name", clientName(int8(tid-tidClientBase)))
+			}
+		}
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].ts != evs[j].ts {
+			return evs[i].ts < evs[j].ts
+		}
+		return evs[i].order < evs[j].order
+	})
+
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	writeLine := func(s string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(s)
+	}
+	for _, m := range meta {
+		writeLine(m)
+	}
+	us := func(t int64) string { return fmt.Sprintf("%d.%06d", t/1e6, t%1e6) }
+	for _, e := range evs {
+		switch e.ph {
+		case 'X':
+			writeLine(fmt.Sprintf(`{"ph":"X","name":%q,"pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
+				e.name, e.pid, e.tid, us(int64(e.ts)), us(int64(e.dur))))
+		case 'i':
+			writeLine(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"pid":%d,"tid":%d,"ts":%s}`,
+				e.name, e.pid, e.tid, us(int64(e.ts))))
+		}
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}

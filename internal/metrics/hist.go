@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"anton/internal/sim"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. The bucket
+// geometry is log-linear (HDR-style): values below 16 ps get exact
+// buckets; above that, each power-of-two octave is split into 8 linear
+// sub-buckets, bounding the relative quantization error at 12.5% across
+// the full picosecond-to-millisecond range. The geometry is a pure
+// function of the value, so histograms built on different shards merge
+// exactly (bucket-wise integer addition) regardless of merge order.
+const NumBuckets = 512
+
+const histSubBits = 3 // 8 sub-buckets per octave
+
+// bucketOf maps a duration to its bucket index. Negative durations (which
+// the models never produce) clamp to bucket 0. The mapping is monotone
+// non-decreasing, which the property tests pin.
+func bucketOf(d sim.Dur) int {
+	if d <= 0 {
+		return 0
+	}
+	v := uint64(d)
+	exp := bits.Len64(v) - 1
+	shift := exp - histSubBits
+	if shift <= 0 {
+		return int(v)
+	}
+	return shift*(1<<histSubBits) + int(v>>uint(shift))
+}
+
+// BucketLow returns the smallest duration mapping to bucket i.
+func BucketLow(i int) sim.Dur {
+	m := i % (1 << histSubBits)
+	shift := i/(1<<histSubBits) - 1
+	if shift <= 0 {
+		return sim.Dur(i)
+	}
+	return sim.Dur(uint64(m+1<<histSubBits) << uint(shift))
+}
+
+// BucketHigh returns the largest duration mapping to bucket i.
+func BucketHigh(i int) sim.Dur {
+	if i/(1<<histSubBits)-1 <= 0 {
+		return sim.Dur(i)
+	}
+	return BucketLow(i+1) - 1
+}
+
+// Hist is a fixed-bucket latency histogram. The zero value is an empty
+// histogram ready for use; Hist is a value type and copies are
+// independent.
+type Hist struct {
+	buckets [NumBuckets]uint64
+	count   uint64
+	sum     int64
+	min     sim.Dur
+	max     sim.Dur
+}
+
+// Add records one duration.
+func (h *Hist) Add(d sim.Dur) {
+	h.buckets[bucketOf(d)]++
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if h.count == 0 || d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += int64(d)
+}
+
+// AddAll records every duration in ds.
+func (h *Hist) AddAll(ds []sim.Dur) {
+	for _, d := range ds {
+		h.Add(d)
+	}
+}
+
+// Merge folds o into h. Merging is exact: bucket-wise integer addition
+// plus min/max/count/sum combination, so it is associative and
+// commutative — shard histograms merged in any order yield the same
+// result, which the property tests verify.
+func (h *Hist) Merge(o Hist) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		*h = o
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded durations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Min returns the smallest recorded duration (exact, not bucketized).
+func (h *Hist) Min() sim.Dur { return h.min }
+
+// Max returns the largest recorded duration (exact, not bucketized).
+func (h *Hist) Max() sim.Dur { return h.max }
+
+// Mean returns the integer mean of the recorded durations (exact sum over
+// count; zero for an empty histogram).
+func (h *Hist) Mean() sim.Dur {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Dur(h.sum / int64(h.count))
+}
+
+// Bucket returns the count in bucket i.
+func (h *Hist) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Quantile returns the upper edge of the bucket containing the q-th
+// percentile (integer q in [0,100]): the smallest bucket whose cumulative
+// count reaches ceil(q*count/100). Integer-only, so byte-deterministic.
+func (h *Hist) Quantile(q int) sim.Dur {
+	if h.count == 0 {
+		return 0
+	}
+	target := (h.count*uint64(q) + 99) / 100
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= target {
+			hi := BucketHigh(i)
+			if hi > h.max {
+				hi = h.max // never report beyond the observed max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Summary renders the one-line count/p50/p99/max/mean summary.
+func (h *Hist) Summary() string {
+	return fmt.Sprintf("count=%d p50=%.1fns p99=%.1fns max=%.1fns mean=%.1fns",
+		h.count, h.Quantile(50).Ns(), h.Quantile(99).Ns(), h.max.Ns(), h.Mean().Ns())
+}
+
+// String renders the non-empty buckets, one per line, with a proportional
+// bar. Deterministic: fixed formatting, buckets in index order.
+func (h *Hist) String() string {
+	var b strings.Builder
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(c * 40 / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  [%10.1f, %10.1f] ns %8d %s\n",
+			BucketLow(i).Ns(), BucketHigh(i).Ns(), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

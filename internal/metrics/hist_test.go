@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"anton/internal/sim"
+)
+
+// randDurs returns n durations spanning the simulator's realistic range:
+// sub-nanosecond up to tens of milliseconds, in picoseconds.
+func randDurs(rng *rand.Rand, n int) []sim.Dur {
+	out := make([]sim.Dur, n)
+	for i := range out {
+		// Exponentially distributed magnitudes so every octave of the
+		// bucket geometry gets exercised.
+		mag := uint(rng.Intn(35))
+		out[i] = sim.Dur(rng.Int63n(1 << mag))
+	}
+	return out
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := 0
+	for d := sim.Dur(0); d < 1<<20; d++ {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < bucketOf(%d) = %d", d, b, d-1, prev)
+		}
+		prev = b
+	}
+	// Spot-check monotonicity across the full range at octave boundaries.
+	for mag := uint(1); mag < 45; mag++ {
+		for _, v := range []sim.Dur{1<<mag - 1, 1 << mag, 1<<mag + 1} {
+			if bucketOf(v-1) > bucketOf(v) {
+				t.Fatalf("bucketOf(%d) = %d > bucketOf(%d) = %d",
+					v-1, bucketOf(v-1), v, bucketOf(v))
+			}
+		}
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range randDurs(rng, 20000) {
+		b := bucketOf(d)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", d, b)
+		}
+		if lo, hi := BucketLow(b), BucketHigh(b); d < lo || d > hi {
+			t.Fatalf("d=%d not in bucket %d bounds [%d, %d]", d, b, lo, hi)
+		}
+	}
+	// Bucket edges are contiguous: every bucket's high is the next one's
+	// low minus one (over the octaves the models can produce).
+	for i := 16; i < 400; i++ {
+		if BucketHigh(i)+1 != BucketLow(i+1) {
+			t.Fatalf("gap between bucket %d (high %d) and %d (low %d)",
+				i, BucketHigh(i), i+1, BucketLow(i+1))
+		}
+	}
+}
+
+func TestCountConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randDurs(rng, 5000)
+	var h Hist
+	h.AddAll(ds)
+	if h.Count() != uint64(len(ds)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(ds))
+	}
+	var sum uint64
+	for i := 0; i < NumBuckets; i++ {
+		sum += h.Bucket(i)
+	}
+	if sum != uint64(len(ds)) {
+		t.Fatalf("bucket sum = %d, want %d: a sample fell outside every bucket", sum, len(ds))
+	}
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		var a, b, c Hist
+		a.AddAll(randDurs(rng, rng.Intn(200)))
+		b.AddAll(randDurs(rng, rng.Intn(200)))
+		c.AddAll(randDurs(rng, rng.Intn(200)))
+
+		ab := a
+		ab.Merge(b)
+		ba := b
+		ba.Merge(a)
+		if ab != ba {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+
+		abc := ab // (a+b)+c
+		abc.Merge(c)
+		bc := b
+		bc.Merge(c)
+		aBC := a // a+(b+c)
+		aBC.Merge(bc)
+		if abc != aBC {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+
+		if abc.Count() != a.Count()+b.Count()+c.Count() {
+			t.Fatalf("trial %d: merge lost samples: %d vs %d",
+				trial, abc.Count(), a.Count()+b.Count()+c.Count())
+		}
+	}
+}
+
+// TestMergeMatchesSequential checks that sharded accumulation + merge is
+// indistinguishable from adding every sample to one histogram.
+func TestMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := randDurs(rng, 4096)
+	var whole Hist
+	whole.AddAll(ds)
+	shards := make([]Hist, 7)
+	for i, d := range ds {
+		shards[i%len(shards)].Add(d)
+	}
+	var merged Hist
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if whole != merged {
+		t.Fatalf("sharded merge differs from sequential accumulation:\n%v\nvs\n%v",
+			whole.Summary(), merged.Summary())
+	}
+}
+
+// TestParallelShardMerge fills shards from concurrent goroutines — the
+// worker-pool pattern the harness uses — and is meaningful under
+// -race: each shard must be confined to its goroutine until merge.
+func TestParallelShardMerge(t *testing.T) {
+	const shards = 8
+	inputs := make([][]sim.Dur, shards)
+	for i := range inputs {
+		inputs[i] = randDurs(rand.New(rand.NewSource(int64(i))), 1000)
+	}
+	hists := make([]Hist, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hists[i].AddAll(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	var merged Hist
+	for i := range hists {
+		merged.Merge(hists[i])
+	}
+	var want Hist
+	for _, in := range inputs {
+		want.AddAll(in)
+	}
+	if merged != want {
+		t.Fatalf("parallel shard merge differs from sequential: %v vs %v",
+			merged.Summary(), want.Summary())
+	}
+}
+
+func TestQuantileOrderingAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		var h Hist
+		h.AddAll(randDurs(rng, 1+rng.Intn(500)))
+		last := sim.Dur(-1)
+		for _, q := range []int{0, 25, 50, 90, 99, 100} {
+			v := h.Quantile(q)
+			if v < last {
+				t.Fatalf("trial %d: quantiles not monotone: p%d=%v < %v", trial, q, v, last)
+			}
+			if v > h.Max() {
+				t.Fatalf("trial %d: p%d=%v beyond max %v", trial, q, v, h.Max())
+			}
+			last = v
+		}
+	}
+	// A single sample: every quantile reports a value bounding it.
+	var h Hist
+	h.Add(162_000) // 162 ns in ps
+	if h.Quantile(50) < 162_000 || h.Quantile(50) > h.Max() {
+		t.Fatalf("single-sample p50 = %v", h.Quantile(50))
+	}
+	if h.Max() != 162_000 || h.Min() != 162_000 || h.Mean() != 162_000 {
+		t.Fatalf("single-sample min/max/mean = %v/%v/%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestEmptyAndZeroMerge(t *testing.T) {
+	var empty, h Hist
+	h.Add(100)
+	before := h
+	h.Merge(empty)
+	if h != before {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	empty.Merge(h)
+	if empty != h {
+		t.Fatal("merging into an empty histogram did not copy")
+	}
+	var e2 Hist
+	if e2.Quantile(99) != 0 || e2.Mean() != 0 || e2.Count() != 0 {
+		t.Fatal("empty histogram statistics not zero")
+	}
+}

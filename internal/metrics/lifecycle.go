@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// Hop is one link traversal in a reconstructed packet lifecycle.
+type Hop struct {
+	Node           topo.NodeID // node whose outgoing link was traversed
+	Port           int         // dense port index (topo.PortIndex)
+	Depart         sim.Time    // header at the egress side of Node
+	SerializeStart sim.Time    // link begins serializing
+	SerializeEnd   sim.Time    // link occupancy ends
+	Arrive         sim.Time    // header exits the arriving adapter at the next node
+}
+
+// Dim returns the hop's dimension.
+func (h Hop) Dim() topo.Dim { return topo.Ports[h.Port].Dim }
+
+// Lifecycle is the reconstructed timeline of one unicast packet, from
+// injection to delivery commit.
+type Lifecycle struct {
+	Seq          uint64
+	Src, Dst     packet.Client
+	Inject       sim.Time
+	RingEnter    sim.Time
+	Hops         []Hop
+	DeliverStart sim.Time
+	Deliver      sim.Time
+}
+
+// E2E returns the end-to-end (inject -> deliver commit) latency.
+func (lc *Lifecycle) E2E() sim.Dur { return lc.Deliver.Sub(lc.Inject) }
+
+// Lifecycles reconstructs the per-packet timelines of every unicast
+// packet that reached delivery, sorted by sequence number. Multicast
+// packets (whose lifecycle branches) are skipped: their deliveries still
+// contribute to AntonLatencies and to the chrome trace, but a branching
+// timeline has no single stage attribution.
+func (r *Recorder) Lifecycles() []*Lifecycle {
+	if r == nil {
+		return nil
+	}
+	byseq := make(map[uint64]*Lifecycle)
+	deliveries := make(map[uint64]int)
+	for _, e := range r.Events() {
+		if e.Kind > EvDeliver {
+			continue // counter and cluster events live in other sequence spaces
+		}
+		lc := byseq[e.Seq]
+		if lc == nil {
+			lc = &Lifecycle{Seq: e.Seq}
+			byseq[e.Seq] = lc
+		}
+		switch e.Kind {
+		case EvInject:
+			lc.Inject = e.At
+			lc.Src = packet.Client{Node: topo.NodeID(e.Node), Kind: packet.ClientKind(e.Client)}
+		case EvRingEnter:
+			lc.RingEnter = e.At
+		case EvHopDepart:
+			lc.Hops = append(lc.Hops, Hop{Node: topo.NodeID(e.Node), Port: int(e.Port), Depart: e.At})
+		case EvSerializeStart:
+			if n := len(lc.Hops); n > 0 {
+				lc.Hops[n-1].SerializeStart = e.At
+			}
+		case EvSerializeEnd:
+			if n := len(lc.Hops); n > 0 {
+				lc.Hops[n-1].SerializeEnd = e.At
+			}
+		case EvHopArrive:
+			if n := len(lc.Hops); n > 0 {
+				lc.Hops[n-1].Arrive = e.At
+			}
+		case EvDeliverStart:
+			lc.DeliverStart = e.At
+		case EvDeliver:
+			lc.Deliver = e.At
+			lc.Dst = packet.Client{Node: topo.NodeID(e.Node), Kind: packet.ClientKind(e.Client)}
+			deliveries[e.Seq]++
+		}
+	}
+	out := make([]*Lifecycle, 0, len(byseq))
+	for seq, lc := range byseq {
+		// Unicast lifecycles have exactly one delivery; a branching
+		// multicast has several (or, per branch, duplicate hop chains).
+		if deliveries[seq] != 1 {
+			continue
+		}
+		out = append(out, lc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Stage is one named component of a packet's end-to-end latency. The
+// labels match noc.Stage labels exactly, so a measured lifecycle can be
+// compared against the calibrated closed-form breakdown stage by stage.
+type Stage struct {
+	Label string
+	Dur   sim.Dur
+}
+
+// Stages attributes the lifecycle's end-to-end latency to pipeline
+// stages: injection, ring traversals, per-hop link wait/adapter time,
+// through-node time, payload serialization + destination ring, and
+// delivery. The stage durations sum exactly to E2E (every boundary
+// instant is shared between adjacent stages).
+func (lc *Lifecycle) Stages() []Stage {
+	var out []Stage
+	add := func(label string, d sim.Dur) { out = append(out, Stage{label, d}) }
+	add("send initiation", lc.RingEnter.Sub(lc.Inject))
+	if len(lc.Hops) == 0 {
+		add("local ring traversal", lc.DeliverStart.Sub(lc.RingEnter))
+	} else {
+		add("source ring traversal", lc.Hops[0].Depart.Sub(lc.RingEnter))
+		for i, h := range lc.Hops {
+			if i > 0 {
+				add(fmt.Sprintf("through node (%v hop %d)", h.Dim(), i+1),
+					h.Depart.Sub(lc.Hops[i-1].Arrive))
+			}
+			if w := h.SerializeStart.Sub(h.Depart); w > 0 {
+				add(fmt.Sprintf("link wait (%v hop %d)", h.Dim(), i+1), w)
+			}
+			add(fmt.Sprintf("link adapters + wire (%v hop %d)", h.Dim(), i+1),
+				h.Arrive.Sub(h.SerializeStart))
+		}
+		add("payload serialization + destination ring traversal",
+			lc.DeliverStart.Sub(lc.Hops[len(lc.Hops)-1].Arrive))
+	}
+	add("memory write + counter increment + successful poll",
+		lc.Deliver.Sub(lc.DeliverStart))
+	return out
+}

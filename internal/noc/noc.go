@@ -13,6 +13,8 @@
 package noc
 
 import (
+	"fmt"
+
 	"anton/internal/packet"
 	"anton/internal/sim"
 	"anton/internal/topo"
@@ -207,4 +209,45 @@ func (m *Model) PathLatency(hops [topo.NumDims]int, src, dst packet.ClientKind, 
 // under the default model (Fig. 5's slopes).
 func (m *Model) HopIncrement(d topo.Dim) sim.Dur {
 	return m.Through[d] + m.AdapterPair[d]
+}
+
+// Stage is one named component of a contention-free end-to-end latency,
+// as in the paper's Figure 6 breakdown. The labels match the stage labels
+// the measured-lifecycle attribution (internal/metrics) derives from
+// observed packet events, so the two can be compared stage by stage: this
+// is the calibrated ground truth the observability layer cross-validates
+// against.
+type Stage struct {
+	Label string
+	Dur   sim.Dur
+}
+
+// Stages returns the contention-free stage-by-stage latency attribution
+// of a single counted remote write: the closed-form counterpart of a
+// measured metrics.Lifecycle.Stages(). The stage durations sum exactly to
+// PathLatency(hops, src, dst, wireBytes).
+func (m *Model) Stages(hops [topo.NumDims]int, src, dst packet.ClientKind, wireBytes int) []Stage {
+	var out []Stage
+	add := func(label string, d sim.Dur) { out = append(out, Stage{label, d}) }
+	add("send initiation", m.SendLatency(src))
+	nhops := hops[0] + hops[1] + hops[2]
+	if nhops == 0 {
+		add("local ring traversal", m.LocalRing)
+	} else {
+		add("source ring traversal", m.SrcRing)
+		hop := 0
+		for d := topo.X; d < topo.NumDims; d++ {
+			for i := 0; i < hops[d]; i++ {
+				hop++
+				if hop > 1 {
+					add(fmt.Sprintf("through node (%v hop %d)", d, hop), m.Through[d])
+				}
+				add(fmt.Sprintf("link adapters + wire (%v hop %d)", d, hop), m.AdapterPair[d])
+			}
+		}
+		add("payload serialization + destination ring traversal",
+			m.ExtraSerialization(wireBytes)+m.DstRing)
+	}
+	add("memory write + counter increment + successful poll", m.DeliverLatency(dst))
+	return out
 }

@@ -95,6 +95,14 @@ type Sim struct {
 	// ordering stays exactly as documented above, which is what makes
 	// the fault layer's draws replayable.
 	Faults any
+
+	// Metrics is the attachment point for the observability layer
+	// (internal/metrics): metrics.Attach stores its *Recorder here and
+	// the model constructors pick it up, exactly like Faults. The
+	// recorder is purely passive — it appends to buffers and never
+	// schedules events — so attaching it cannot change a single bit of
+	// any simulation result.
+	Metrics any
 }
 
 // New returns a fresh simulator at time zero.

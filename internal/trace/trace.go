@@ -62,9 +62,12 @@ type Tracer struct {
 // New returns an empty tracer.
 func New() *Tracer { return &Tracer{} }
 
-// Add records a span. Zero-length spans are dropped.
+// Add records a span. Inverted spans (end before start) are dropped;
+// zero-width spans (end == start) are kept — they mark instantaneous
+// events such as a counter firing, contribute no busy time, and render
+// as a single tick on the timeline.
 func (t *Tracer) Add(u Unit, start, end sim.Time, label string, stall bool) {
-	if end <= start {
+	if end < start {
 		return
 	}
 	t.spans = append(t.spans, Span{Unit: u, Start: start, End: end, Label: label, Stall: stall})
@@ -163,12 +166,26 @@ func (t *Tracer) Timeline(from, to sim.Time, bucket sim.Dur) string {
 				cell = '+'
 			case allFrac > 0.05:
 				cell = '.'
+			case t.hasInstant(u, start, end):
+				// A zero-width span covers no time but still happened
+				// here: render it as a single tick rather than idle.
+				cell = '|'
 			}
 			fmt.Fprintf(&b, " %c%c |", cell, cell)
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// hasInstant reports whether unit u has a zero-width span in [from, to).
+func (t *Tracer) hasInstant(u Unit, from, to sim.Time) bool {
+	for _, s := range t.spans {
+		if s.Unit == u && s.Start == s.End && s.Start >= from && s.Start < to {
+			return true
+		}
+	}
+	return false
 }
 
 // occupancyFiltered is Occupancy restricted to stall or non-stall spans.

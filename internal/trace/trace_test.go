@@ -24,12 +24,45 @@ func TestBusyAccounting(t *testing.T) {
 	}
 }
 
-func TestZeroLengthSpansDropped(t *testing.T) {
+func TestDegenerateSpans(t *testing.T) {
 	tr := New()
-	tr.Add(TS, 50, 50, "noop", false)
+	tr.Add(TS, 50, 50, "instant", false)
 	tr.Add(TS, 60, 40, "negative", false)
-	if len(tr.Spans()) != 0 {
-		t.Fatal("degenerate spans retained")
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (zero-width kept, inverted dropped): %v", len(spans), spans)
+	}
+	if spans[0].Label != "instant" || spans[0].Start != spans[0].End {
+		t.Fatalf("retained span is not the zero-width one: %v", spans[0])
+	}
+	if got := tr.Busy(TS, true); got != 0 {
+		t.Fatalf("zero-width span contributed busy time: %v", got)
+	}
+}
+
+// TestTimelineInstantTick pins the regression where zero-width spans were
+// silently dropped at Add time and so could never appear on a timeline: an
+// instantaneous event (e.g. a counter firing) must render as a tick in its
+// bucket rather than idle space.
+func TestTimelineInstantTick(t *testing.T) {
+	tr := New()
+	us := sim.Time(sim.Us)
+	tr.Add(TS, 0, us, "compute", false)
+	tr.Add(GC, us+us/2, us+us/2, "counter fire", false)
+	out := tr.Timeline(0, 2*us, sim.Us)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "||") {
+		t.Fatalf("zero-width span not rendered as a tick: %q", lines[2])
+	}
+	if strings.Contains(lines[1], "||") {
+		t.Fatalf("tick rendered in the wrong bucket: %q", lines[1])
+	}
+	// A tick never outranks real occupancy: the busy bucket stays '#'.
+	if !strings.Contains(lines[1], "##") {
+		t.Fatalf("busy bucket not rendered: %q", lines[1])
 	}
 }
 
