@@ -56,4 +56,31 @@ cmp "$tmpdir/bench-1.json" "$tmpdir/bench-8.json"
 cmp "$tmpdir/trace-1.json" "$tmpdir/trace-4.json"
 cmp "$tmpdir/trace-1.json" "$tmpdir/trace-8.json"
 
+echo "== recovery-suite =="
+# Hard-failure survival: the machine and cluster recovery batteries
+# (fault-aware rerouting, watchdog reissue/degraded waits, uplink
+# failover), the detour-route property tests, the killed-link and
+# dead-node scenario goldens, the recovery-event observability tests,
+# the checkpoint format validation tests, and the killsweep golden.
+go test -race -run 'KilledLink|DeadNode|Watchdog|Reissue|InOrderTickets|RecoveryDeterministic|KillFree|ClusterUplink|ClusterAllReduceDead|ClusterDesmondDead|ClusterRecovery|ClusterKillFree|RouteTable|Detour|Scenario|Recovery' \
+	./internal/machine ./internal/cluster ./internal/topo ./internal/fault ./internal/metrics
+go test ./internal/checkpoint
+go test -run Killsweep ./cmd/antonbench
+
+echo "== checkpoint/restart bit-identity =="
+# Kill a faulted mdsim run at step N/2, restore, and continue: the
+# restored output must be byte-identical to a run that was never killed,
+# at any -workers setting and across worker counts.
+mdflags="-faults seed=9,killlink=0:X+@2us,wdog=15us -engine-molecules 16 -atoms 4000 -torus 2x2x2"
+go run ./cmd/mdsim $mdflags -steps 12 -workers 1 >"$tmpdir/md-full.out"
+for w in 1 4 8; do
+	go run ./cmd/mdsim $mdflags -steps 6 -workers "$w" -checkpoint-out "$tmpdir/md-$w.ckpt" >/dev/null
+	go run ./cmd/mdsim -restore "$tmpdir/md-$w.ckpt" -steps 12 -workers "$w" >"$tmpdir/md-$w.out"
+	cmp "$tmpdir/md-full.out" "$tmpdir/md-$w.out"
+done
+# Cross-worker: a snapshot taken at one worker count restores bit-
+# identically at another.
+go run ./cmd/mdsim -restore "$tmpdir/md-4.ckpt" -steps 12 -workers 8 >"$tmpdir/md-cross.out"
+cmp "$tmpdir/md-full.out" "$tmpdir/md-cross.out"
+
 echo "CI checks passed."

@@ -7,11 +7,18 @@
 //	antonbench [-quick] [-workers N] [-faults PLAN] <experiment-id> [...]
 //	antonbench [-quick] [-workers N] [-faults PLAN] all
 //	antonbench [-quick] [-bench-out BENCH_metrics.json] [-trace-out trace.json] metrics
+//	antonbench [-checkpoint-out snap] [-restore snap] <experiment-id> [...]
 //
 // A fault plan perturbs every experiment's simulators with seeded,
-// deterministic faults, e.g.:
+// deterministic faults, including permanent link/node kills:
 //
 //	antonbench -faults 'seed=42,corrupt=1e-3,retry=50ns' fig5
+//	antonbench -faults 'seed=9,killlink=0:X+@2us,wdog=15us' killsweep
+//
+// -checkpoint-out rewrites a versioned snapshot after each experiment
+// completes, so a killed run loses at most the experiment in flight.
+// -restore re-prints the snapshot's completed reports (verifying the
+// -quick and -faults settings match) and runs only the remainder.
 //
 // The metrics experiment renders the measured-latency observability
 // report; alongside it, -bench-out writes the machine-readable
@@ -26,8 +33,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"anton/internal/checkpoint"
 	"anton/internal/fault"
 	"anton/internal/harness"
 )
@@ -37,16 +47,26 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines for experiment sweeps (1 = sequential; output is identical for any value)")
 	faults := flag.String("faults", "",
-		"fault plan applied to every experiment (e.g. seed=42,corrupt=1e-3,retry=50ns,drop=1e-3,timeout=10us)")
+		"fault plan applied to every experiment (e.g. seed=42,corrupt=1e-3,retry=50ns,killlink=0:X+@2us,wdog=15us)")
 	benchOut := flag.String("bench-out", "",
 		"write the metrics experiment's machine-readable payload (BENCH_metrics.json) to this file")
 	traceOut := flag.String("trace-out", "",
 		"write the metrics experiment's chrome://tracing JSON export to this file")
+	ckptOut := flag.String("checkpoint-out", "",
+		"rewrite a snapshot of the completed experiment reports after each one finishes")
+	restore := flag.String("restore", "",
+		"restore completed experiment reports from a snapshot; only the remainder is re-run")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 	if *faults != "" {
 		plan, err := fault.ParsePlan(*faults)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "antonbench: -faults: %v\n", err)
+			os.Exit(1)
+		}
+		// The flagship machine has 512 nodes; every experiment simulator
+		// is at most that large, so kills beyond it would hit nothing.
+		if err := plan.ValidateTopo(512); err != nil {
 			fmt.Fprintf(os.Stderr, "antonbench: -faults: %v\n", err)
 			os.Exit(1)
 		}
@@ -68,24 +88,84 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
+
+	// A snapshot carries the settings that determine report content plus
+	// one "id\x00report" row per completed experiment, rewritten after
+	// each finishes so a killed run resumes where it left off.
+	fields := map[string]string{
+		"quick":  strconv.FormatBool(*quick),
+		"faults": *faults,
+	}
+	done := map[string]string{}
+	var rows []string
+	if *restore != "" {
+		st, err := checkpoint.ReadFile(*restore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antonbench: %v\n", err)
+			os.Exit(1)
+		}
+		if st.Kind != "antonbench" {
+			fmt.Fprintf(os.Stderr, "antonbench: snapshot %s was written by %q, not antonbench\n", *restore, st.Kind)
+			os.Exit(1)
+		}
+		for k, v := range fields {
+			if sv := st.Field(k); sv != v {
+				fmt.Fprintf(os.Stderr, "antonbench: snapshot was taken with -%s=%q, this run has %q\n", k, sv, v)
+				os.Exit(1)
+			}
+		}
+		for _, r := range st.Rows {
+			id, report, ok := strings.Cut(r, "\x00")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "antonbench: malformed snapshot row\n")
+				os.Exit(1)
+			}
+			done[id] = report
+			rows = append(rows, r)
+		}
+	}
+	snapshot := func() {
+		if *ckptOut == "" {
+			return
+		}
+		st := &checkpoint.State{
+			Kind: "antonbench", Step: int64(len(rows)), Fields: fields, Rows: rows,
+		}
+		if err := st.WriteFile(*ckptOut); err != nil {
+			fmt.Fprintf(os.Stderr, "antonbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, id := range ids {
 		e, ok := harness.Lookup(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "antonbench: unknown experiment %q (try: antonbench list)\n", id)
 			os.Exit(1)
 		}
+		if report, ok := done[id]; ok {
+			fmt.Println(report)
+			fmt.Printf("[%s restored from snapshot]\n\n", e.ID)
+			continue
+		}
 		start := time.Now()
+		var report string
 		if id == "metrics" && (*benchOut != "" || *traceOut != "") {
 			// The metrics experiment has machine-readable artifacts beyond
 			// its report; run it once and write everything asked for.
 			a := harness.MetricsArtifacts(*quick)
-			fmt.Println(a.Report)
+			report = a.Report
+			fmt.Println(report)
 			writeArtifact(*benchOut, a.BenchJSON)
 			writeArtifact(*traceOut, a.Trace)
 		} else {
-			fmt.Println(e.Run(*quick))
+			report = e.Run(*quick)
+			fmt.Println(report)
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		done[id] = report
+		rows = append(rows, id+"\x00"+report)
+		snapshot()
 	}
 }
 

@@ -43,6 +43,34 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// TestKillsweepGolden pins the hard-failure recovery experiment's quick
+// report: the Anton vs InfiniBand kill sweep's recovery costs, tallies,
+// and detour latencies. Any diff means the recovery machinery (routing
+// tables, watchdog, failover) changed behaviour. Quick mode keeps the
+// run cheap; the full sweep is covered by the harness determinism test.
+func TestKillsweepGolden(t *testing.T) {
+	e, ok := harness.Lookup("killsweep")
+	if !ok {
+		t.Fatal("experiment killsweep not registered")
+	}
+	got := e.Run(true)
+	path := filepath.Join("testdata", "killsweep.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/antonbench -run Killsweep -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("killsweep report drifted from %s — if the recovery-model change is intentional, regenerate with -update\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
 // TestMetricsZeroOverheadIdentity pins the observability layer's
 // determinism contract against the golden reports: with a lifecycle
 // recorder attached to every harness simulator, fig6 and table1 must

@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *State {
+	return &State{
+		Kind:  "mdsim",
+		Step:  12,
+		Clock: 987654321,
+		Fields: map[string]string{
+			"atoms": "4000", "torus": "2x2x2", "seed": "1", "faults": "seed=9,killlink=0:X+@2us",
+		},
+		Rows:   []string{"row one", "row two", "row three"},
+		Floats: []float64{1.5, -2.25, math.Pi, 0},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := sample()
+	got, err := Decode(st.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, b := sample().Encode(), sample().Encode()
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same state differ")
+	}
+}
+
+func TestEmptyState(t *testing.T) {
+	st := &State{Kind: "antonbench", Fields: map[string]string{}}
+	got, err := Decode(st.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("empty round trip mismatch: %+v vs %+v", got, st)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	b := sample().Encode()
+	b[0] ^= 0xFF
+	if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not rejected: %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	b := sample().Encode()
+	binary.LittleEndian.PutUint32(b[len(Magic):], 99)
+	if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("unknown version not rejected: %v", err)
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	b := sample().Encode()
+	// Flip one payload byte anywhere: the digest must catch it.
+	for _, off := range []int{headerLen, headerLen + 7, len(b) - 1} {
+		c := append([]byte(nil), b...)
+		c[off] ^= 0x01
+		if _, err := Decode(c); err == nil || !strings.Contains(err.Error(), "digest") {
+			t.Fatalf("corruption at offset %d not rejected: %v", off, err)
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	b := sample().Encode()
+	for _, n := range []int{0, 4, headerLen - 1, headerLen + 3, len(b) / 2, len(b) - 1} {
+		if _, err := Decode(b[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes not rejected", n)
+		}
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	// Extra bytes after the payload change the digest; a crafted file with
+	// a digest over the padded payload still fails the exact-consume check.
+	st := sample()
+	b := st.Encode()
+	padded := append(append([]byte(nil), b...), 0, 0, 0)
+	if _, err := Decode(padded); err == nil {
+		t.Fatal("trailing bytes not rejected")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ckpt")
+	st := sample()
+	if err := st.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after atomic write")
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("file round trip mismatch")
+	}
+}

@@ -77,6 +77,12 @@ type Cluster struct {
 	// metrics is the lifecycle recorder attached to the simulator, or
 	// nil; it observes per-message software-to-software latencies.
 	metrics *metrics.Recorder
+
+	// Hard-failure state (recovery.go); nil/zero unless the plan kills a
+	// link or node, so kill-free plans reproduce the old model exactly.
+	hard       bool
+	failedOver []bool
+	rec        RecoveryStats
 }
 
 // New builds a cluster of n ranks.
@@ -87,6 +93,10 @@ func New(s *sim.Sim, n int, m Model) *Cluster {
 	for i := 0; i < n; i++ {
 		c.nic[i] = sim.NewResource(s)
 		c.cpu[i] = sim.NewResource(s)
+	}
+	if c.faults.HardFaults() {
+		c.hard = true
+		c.failedOver = make([]bool, n)
 	}
 	return c
 }
@@ -119,6 +129,22 @@ func (c *Cluster) Send(src, dst, bytes int, onRecv func(at sim.Time)) {
 	var attempt func()
 	attempt = func() {
 		c.nic[src].Acquire(service, func(start sim.Time) {
+			if c.hard && c.faults.NodeKilledAt(src, start) {
+				// A dead rank issues nothing: the message is lost at the
+				// NIC and the receiver's watchdog explains the shortfall.
+				c.rec.Lost++
+				return
+			}
+			if c.hard && !c.failedOver[src] {
+				if kt, ok := c.faults.FirstLinkKill(src); ok && start >= kt {
+					// Primary uplink is dead: one-time path migration to
+					// the secondary rail, then retry the injection.
+					c.failedOver[src] = true
+					c.rec.FailedOver++
+					c.Sim.At(start.Add(c.failoverDelay()), attempt)
+					return
+				}
+			}
 			if c.faults.Drop(src, attempts) {
 				attempts++
 				c.Sim.At(start.Add(c.faults.DropTimeout()), attempt)
@@ -126,6 +152,10 @@ func (c *Cluster) Send(src, dst, bytes int, onRecv func(at sim.Time)) {
 			}
 			arrive := start.Add(m.SendOverhead + m.Latency + sim.Dur(bytes)*m.PsPerByte)
 			c.Sim.At(arrive, func() {
+				if c.hard && c.faults.NodeKilledAt(dst, arrive) {
+					c.rec.Lost++
+					return
+				}
 				c.cpu[dst].Acquire(m.RecvOverhead, func(s2 sim.Time) {
 					c.Sim.At(s2.Add(m.RecvOverhead), func() {
 						if onRecv != nil {
@@ -208,6 +238,20 @@ func (c *Cluster) AllReduce(bytes int, done func(at sim.Time)) {
 				recvd[rank][k]--
 				proceed()
 			}
+			// Under a kill plan the wait may never be satisfied: if the
+			// waiter or its partner is dead, proceed without the data.
+			rank, k, partner := rank, k, partner
+			c.watchCollective(
+				func() bool { return waiting[rank][k] != nil },
+				func() bool {
+					now := c.Sim.Now()
+					return c.faults.NodeKilledAt(rank, now) || c.faults.NodeKilledAt(partner, now)
+				},
+				func() {
+					delete(waiting[rank], k)
+					proceed()
+				},
+			)
 		}
 	}
 	for r := 0; r < c.N; r++ {
@@ -272,6 +316,33 @@ func (c *Cluster) StagedNeighborExchange(bytesPerMsg int, done func(at sim.Time)
 			proceed()
 		} else {
 			waiting[rank] = proceed
+			// The stage's senders to this rank are exactly up and down
+			// (the exchange is symmetric); degrade when enough of them
+			// are dead to explain the shortfall.
+			rank, up, down := rank, up, down
+			c.watchCollective(
+				func() bool { return waiting[rank] != nil },
+				func() bool {
+					now := c.Sim.Now()
+					if c.faults.NodeKilledAt(rank, now) {
+						return true
+					}
+					dead := 0
+					if c.faults.NodeKilledAt(up, now) {
+						dead++
+					}
+					if c.faults.NodeKilledAt(down, now) {
+						dead++
+					}
+					return dead >= 2-recvd[rank]
+				},
+				func() {
+					fn := waiting[rank]
+					waiting[rank] = nil
+					recvd[rank] = 2
+					fn()
+				},
+			)
 		}
 	}
 	for r := 0; r < c.N; r++ {

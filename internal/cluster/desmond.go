@@ -81,6 +81,17 @@ func (d *Desmond) groupAllToAll(done func(at sim.Time)) {
 	remaining := c.N
 	expected := g - 1
 	got := make([]int, c.N)
+	finished := make([]bool, c.N)
+	finish := func(dst int, at sim.Time) {
+		if finished[dst] {
+			return
+		}
+		finished[dst] = true
+		remaining--
+		if remaining == 0 {
+			done(at)
+		}
+	}
 	for base := 0; base < c.N; base += g {
 		for i := 0; i < g; i++ {
 			src := base + i
@@ -91,14 +102,34 @@ func (d *Desmond) groupAllToAll(done func(at sim.Time)) {
 				dst := base + j
 				c.Send(src, dst, d.FFTBytes, func(at sim.Time) {
 					got[dst]++
-					if got[dst] == expected {
-						remaining--
-						if remaining == 0 {
-							done(at)
-						}
+					if got[dst] >= expected {
+						finish(dst, at)
 					}
 				})
 			}
+		}
+		// Under a kill plan a rank's shortfall may be permanent: degrade
+		// once enough of its group peers are dead to explain it.
+		for j := 0; j < g; j++ {
+			dst := base + j
+			base := base
+			c.watchCollective(
+				func() bool { return !finished[dst] },
+				func() bool {
+					now := c.Sim.Now()
+					if c.Faults().NodeKilledAt(dst, now) {
+						return true
+					}
+					dead := 0
+					for i := 0; i < g; i++ {
+						if base+i != dst && c.Faults().NodeKilledAt(base+i, now) {
+							dead++
+						}
+					}
+					return dead >= expected-got[dst]
+				},
+				func() { finish(dst, c.Sim.Now()) },
+			)
 		}
 	}
 }

@@ -60,6 +60,28 @@ type Window struct {
 	From, Until sim.Time
 }
 
+// LinkKill is a permanent hard failure of one directed link at time At:
+// unlike an outage Window the link never recovers, and the machine
+// model responds by recomputing fault-aware routing tables rather than
+// by link-level retransmission.
+type LinkKill struct {
+	Link Link
+	At   sim.Time
+}
+
+// NodeKill is a permanent hard failure of a whole node at time At: all
+// twelve directed links touching it go down, in-flight traffic to or
+// through it is lost, and its clients neither send nor receive again.
+type NodeKill struct {
+	Node int
+	At   sim.Time
+}
+
+// DefaultWatchdog is the end-to-end synchronization-counter watchdog
+// deadline used when a plan kills links or nodes without setting
+// Watchdog explicitly.
+const DefaultWatchdog = 25 * sim.Us
+
 // Plan is a complete, serializable description of the faults to inject.
 // The zero value injects nothing. Plans are parsed from and formatted to
 // the -faults flag syntax by ParsePlan and String (plan.go).
@@ -105,13 +127,30 @@ type Plan struct {
 
 	// Down lists scheduled link outages.
 	Down []Window
+
+	// KillLinks lists permanent link failures (hard faults).
+	KillLinks []LinkKill
+	// KillNodes lists permanent node failures (hard faults).
+	KillNodes []NodeKill
+	// Watchdog is the end-to-end synchronization-counter deadline: a
+	// counter wait that has not fired within Watchdog triggers
+	// deterministic recovery (re-issue of known-lost counted writes, or
+	// a degraded-mode partial reduction). Zero selects DefaultWatchdog
+	// when the plan kills anything; without kills it is inert.
+	Watchdog sim.Dur
 }
 
 // IsZero reports whether the plan injects nothing (the seed alone does
 // not make a plan non-zero).
 func (p Plan) IsZero() bool {
 	return p.CorruptRate == 0 && p.StallRate == 0 && p.DropRate == 0 &&
-		p.SlowRate == 0 && len(p.Down) == 0
+		p.SlowRate == 0 && len(p.Down) == 0 && !p.HardFaults()
+}
+
+// HardFaults reports whether the plan permanently kills any link or
+// node.
+func (p Plan) HardFaults() bool {
+	return len(p.KillLinks) > 0 || len(p.KillNodes) > 0
 }
 
 // maxRetries caps consecutive retransmissions of one traversal (and
@@ -381,4 +420,68 @@ func (in *Injector) DropTimeout() sim.Dur {
 		return 0
 	}
 	return in.plan.DropTimeout
+}
+
+// HardFaults reports whether the plan permanently kills any link or
+// node. Models gate all hard-failure machinery on this so that plans
+// without kills schedule nothing extra and stay bit-identical to the
+// pre-recovery models.
+func (in *Injector) HardFaults() bool {
+	return in != nil && in.plan.HardFaults()
+}
+
+// LinkKills returns the plan's permanent link failures.
+func (in *Injector) LinkKills() []LinkKill {
+	if in == nil {
+		return nil
+	}
+	return in.plan.KillLinks
+}
+
+// NodeKills returns the plan's permanent node failures.
+func (in *Injector) NodeKills() []NodeKill {
+	if in == nil {
+		return nil
+	}
+	return in.plan.KillNodes
+}
+
+// NodeKilledAt reports whether node (or cluster rank) `node` is dead at
+// time at: a kill applies from its At instant onward.
+func (in *Injector) NodeKilledAt(node int, at sim.Time) bool {
+	if in == nil {
+		return false
+	}
+	for _, k := range in.plan.KillNodes {
+		if k.Node == node && k.At <= at {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstLinkKill returns the earliest kill time of any link leaving
+// node. The cluster model reads a rank's link kills as the failure of
+// its switch uplink.
+func (in *Injector) FirstLinkKill(node int) (sim.Time, bool) {
+	if in == nil {
+		return 0, false
+	}
+	var first sim.Time
+	found := false
+	for _, k := range in.plan.KillLinks {
+		if k.Link.Node == node && (!found || k.At < first) {
+			first, found = k.At, true
+		}
+	}
+	return first, found
+}
+
+// WatchdogDeadline returns the effective end-to-end counter-watchdog
+// deadline: the plan's Watchdog, or DefaultWatchdog when unset.
+func (in *Injector) WatchdogDeadline() sim.Dur {
+	if in == nil || in.plan.Watchdog == 0 {
+		return DefaultWatchdog
+	}
+	return in.plan.Watchdog
 }

@@ -15,14 +15,18 @@ import (
 //
 //	seed=42,corrupt=1e-3,retry=50ns,stall=1e-4,stalldur=200ns,
 //	drop=1e-3,timeout=10us,slow=0.05,slowfactor=1.5,
-//	links=0:X+;5:Y-,down=0:X+@1us:5us
+//	links=0:X+;5:Y-,down=0:X+@1us:5us,
+//	killlink=0:X+@1us;3:Y-@0ns,killnode=5@2us,wdog=25us
 //
 // Rates are probabilities in [0,1]; durations take a ps/ns/us/ms
 // suffix; links are node:port with port one of X+ X- Y+ Y- Z+ Z-;
-// outage windows are link@from:until. String renders the same syntax
-// canonically (fixed key order, zero-valued keys omitted, durations in
-// ns when whole nanoseconds), so Plan round-trips through
-// ParsePlan(p.String()) exactly.
+// outage windows are link@from:until. Permanent hard failures are
+// killlink=link@at and killnode=node@at (the "@at" may be omitted and
+// defaults to 0ns: dead from the start); wdog sets the end-to-end
+// counter-watchdog deadline hard-failure recovery uses. String renders
+// the same syntax canonically (fixed key order, zero-valued keys
+// omitted, durations in ns when whole nanoseconds, kill times always
+// explicit), so Plan round-trips through ParsePlan(p.String()) exactly.
 
 // String formats p in canonical -faults syntax.
 func (p Plan) String() string {
@@ -67,6 +71,23 @@ func (p Plan) String() string {
 		}
 		add("down", strings.Join(ws, ";"))
 	}
+	if len(p.KillLinks) > 0 {
+		ks := make([]string, len(p.KillLinks))
+		for i, k := range p.KillLinks {
+			ks[i] = fmt.Sprintf("%v@%s", k.Link, fmtDur(sim.Dur(k.At)))
+		}
+		add("killlink", strings.Join(ks, ";"))
+	}
+	if len(p.KillNodes) > 0 {
+		ks := make([]string, len(p.KillNodes))
+		for i, k := range p.KillNodes {
+			ks[i] = fmt.Sprintf("%d@%s", k.Node, fmtDur(sim.Dur(k.At)))
+		}
+		add("killnode", strings.Join(ks, ";"))
+	}
+	if p.Watchdog != 0 {
+		add("wdog", fmtDur(p.Watchdog))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -110,6 +131,12 @@ func ParsePlan(s string) (Plan, error) {
 			p.Links, err = parseLinks(v)
 		case "down":
 			p.Down, err = parseWindows(v)
+		case "killlink":
+			p.KillLinks, err = parseLinkKills(v)
+		case "killnode":
+			p.KillNodes, err = parseNodeKills(v)
+		case "wdog":
+			p.Watchdog, err = parseDur(v)
 		default:
 			err = fmt.Errorf("unknown key %q", k)
 		}
@@ -169,8 +196,73 @@ func (p Plan) Validate() error {
 		if w.Link.Node < 0 {
 			return fmt.Errorf("fault: negative link node in outage %v", w.Link)
 		}
-		if w.From < 0 || w.Until < w.From {
-			return fmt.Errorf("fault: outage window [%v,%v) is not ordered", w.From, w.Until)
+		if w.From < 0 || w.Until <= w.From {
+			return fmt.Errorf("fault: outage window [%v,%v) is empty or not ordered", w.From, w.Until)
+		}
+	}
+	seenLinks := make(map[Link]bool, len(p.KillLinks))
+	for _, k := range p.KillLinks {
+		if k.Link.Node < 0 {
+			return fmt.Errorf("fault: negative link node in kill %v", k.Link)
+		}
+		if k.At < 0 {
+			return fmt.Errorf("fault: negative kill time %v for link %v", k.At, k.Link)
+		}
+		if seenLinks[k.Link] {
+			return fmt.Errorf("fault: link %v killed twice", k.Link)
+		}
+		seenLinks[k.Link] = true
+	}
+	seenNodes := make(map[int]bool, len(p.KillNodes))
+	for _, k := range p.KillNodes {
+		if k.Node < 0 {
+			return fmt.Errorf("fault: negative node in kill %d", k.Node)
+		}
+		if k.At < 0 {
+			return fmt.Errorf("fault: negative kill time %v for node %d", k.At, k.Node)
+		}
+		if seenNodes[k.Node] {
+			return fmt.Errorf("fault: node %d killed twice", k.Node)
+		}
+		seenNodes[k.Node] = true
+	}
+	if p.Watchdog < 0 {
+		return fmt.Errorf("fault: negative wdog duration %v", p.Watchdog)
+	}
+	return nil
+}
+
+// ValidateTopo checks that every link, outage, and kill target names a
+// node that exists on a machine with the given node count. CLIs call
+// this against their primary torus so a typo'd kill fails loudly
+// instead of silently never firing; the machine model itself ignores
+// out-of-range sites, because one plan may drive ancillary simulators
+// of many sizes.
+func (p Plan) ValidateTopo(nodes int) error {
+	check := func(what string, node int) error {
+		if node >= nodes {
+			return fmt.Errorf("fault: %s names node %d, but the machine has only %d nodes", what, node, nodes)
+		}
+		return nil
+	}
+	for _, l := range p.Links {
+		if err := check(fmt.Sprintf("link %v", l), l.Node); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.Down {
+		if err := check(fmt.Sprintf("outage link %v", w.Link), w.Link.Node); err != nil {
+			return err
+		}
+	}
+	for _, k := range p.KillLinks {
+		if err := check(fmt.Sprintf("killed link %v", k.Link), k.Link.Node); err != nil {
+			return err
+		}
+	}
+	for _, k := range p.KillNodes {
+		if err := check(fmt.Sprintf("killed node %d", k.Node), k.Node); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -313,5 +405,52 @@ func parseWindows(s string) ([]Window, error) {
 		}
 		return a.From < b.From
 	})
+	return out, nil
+}
+
+func parseLinkKills(s string) ([]LinkKill, error) {
+	var out []LinkKill
+	for _, f := range strings.Split(s, ";") {
+		linkStr, atStr, hasAt := strings.Cut(f, "@")
+		l, err := parseLink(linkStr)
+		if err != nil {
+			return nil, err
+		}
+		var at sim.Dur
+		if hasAt {
+			if at, err = parseDur(atStr); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, LinkKill{Link: l, At: sim.Time(at)})
+	}
+	// Canonical order (duplicates survive so Validate can reject them).
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Link.Node != b.Link.Node {
+			return a.Link.Node < b.Link.Node
+		}
+		return topo.PortIndex(a.Link.Port) < topo.PortIndex(b.Link.Port)
+	})
+	return out, nil
+}
+
+func parseNodeKills(s string) ([]NodeKill, error) {
+	var out []NodeKill
+	for _, f := range strings.Split(s, ";") {
+		nodeStr, atStr, hasAt := strings.Cut(f, "@")
+		node, err := strconv.Atoi(nodeStr)
+		if err != nil {
+			return nil, err
+		}
+		var at sim.Dur
+		if hasAt {
+			if at, err = parseDur(atStr); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, NodeKill{Node: node, At: sim.Time(at)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out, nil
 }

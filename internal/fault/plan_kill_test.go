@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// Kill syntax parses to the expected plan, renders canonically (times
+// always explicit, entries sorted), and round-trips.
+func TestParsePlanKillSyntax(t *testing.T) {
+	p, err := ParsePlan("seed=3,killlink=3:Y-@0ns;0:X+@1us,killnode=5@2us;2,wdog=25us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed: 3,
+		KillLinks: []LinkKill{
+			{Link: Link{Node: 0, Port: topo.Port{Dim: topo.X, Dir: +1}}, At: sim.Time(1 * sim.Us)},
+			{Link: Link{Node: 3, Port: topo.Port{Dim: topo.Y, Dir: -1}}, At: 0},
+		},
+		KillNodes: []NodeKill{{Node: 2, At: 0}, {Node: 5, At: sim.Time(2 * sim.Us)}},
+		Watchdog:  25 * sim.Us,
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	canon := "seed=3,killlink=0:X+@1000ns;3:Y-@0ns,killnode=2@0ns;5@2000ns,wdog=25000ns"
+	if s := p.String(); s != canon {
+		t.Fatalf("canonical form %q, want %q", s, canon)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed the plan: %+v vs %+v", p, p2)
+	}
+	if !p.HardFaults() || p.IsZero() {
+		t.Fatal("kill plan must report hard faults and not be zero")
+	}
+}
+
+// Invalid plans are rejected with errors that name the offending target.
+func TestParsePlanKillValidation(t *testing.T) {
+	cases := []struct {
+		in, wantErr string
+	}{
+		{"killlink=0:X+;0:X+", "killed twice"},
+		{"killnode=4@1us;4@2us", "killed twice"},
+		{"killlink=0:X+@-1ns", "out of range"},
+		{"killnode=-1", "negative node"},
+		{"killnode=5@-2us", "out of range"},
+		{"wdog=-5us", "out of range"},
+		{"down=0:X+@1us:1us", "empty or not ordered"},
+		{"down=0:X+@5us:1us", "empty or not ordered"},
+		{"killlink=0:Q+", "unknown port"},
+		{"killlink=0X+", "not node:port"},
+		{"killnode=abc", "invalid syntax"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan(c.in); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", c.in)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParsePlan(%q) error %q does not mention %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+// ValidateTopo rejects kills of links and nodes that do not exist on
+// the target machine, while in-range plans pass.
+func TestValidateTopo(t *testing.T) {
+	p := MustParsePlan("killlink=63:X+@1us,killnode=10@0ns,links=5:Y+,down=7:Z-@0ns:1us")
+	if err := p.ValidateTopo(64); err != nil {
+		t.Fatalf("in-range plan rejected: %v", err)
+	}
+	for _, c := range []struct {
+		plan, wantErr string
+	}{
+		{"killlink=64:X+", "killed link"},
+		{"killnode=64", "killed node"},
+		{"links=64:X+", "link"},
+		{"down=64:X+@0ns:1us", "outage link"},
+	} {
+		p := MustParsePlan(c.plan)
+		err := p.ValidateTopo(64)
+		if err == nil {
+			t.Errorf("ValidateTopo accepted %q on a 64-node machine", c.plan)
+		} else if !strings.Contains(err.Error(), c.wantErr) || !strings.Contains(err.Error(), "64 nodes") {
+			t.Errorf("ValidateTopo(%q) error %q lacks target or node count", c.plan, err)
+		}
+	}
+}
+
+// Injector accessors for hard faults: kill lists pass through, node
+// death applies from its kill time onward, FirstLinkKill reports the
+// earliest uplink failure, and the watchdog deadline defaults.
+func TestInjectorHardFaultAccessors(t *testing.T) {
+	in := NewInjector(MustParsePlan("killlink=2:X+@1us;2:Y+@3us,killnode=5@2us"))
+	if !in.HardFaults() {
+		t.Fatal("injector with kills reports no hard faults")
+	}
+	if n := len(in.LinkKills()); n != 2 {
+		t.Fatalf("LinkKills len %d, want 2", n)
+	}
+	if in.NodeKilledAt(5, sim.Time(2*sim.Us)-1) {
+		t.Fatal("node 5 dead before its kill time")
+	}
+	if !in.NodeKilledAt(5, sim.Time(2*sim.Us)) {
+		t.Fatal("node 5 alive at its kill time")
+	}
+	if in.NodeKilledAt(4, sim.Time(10*sim.Us)) {
+		t.Fatal("unkilled node reported dead")
+	}
+	if at, ok := in.FirstLinkKill(2); !ok || at != sim.Time(1*sim.Us) {
+		t.Fatalf("FirstLinkKill(2) = %v,%v, want 1us,true", at, ok)
+	}
+	if _, ok := in.FirstLinkKill(3); ok {
+		t.Fatal("FirstLinkKill(3) found a kill on an untouched node")
+	}
+	if d := in.WatchdogDeadline(); d != DefaultWatchdog {
+		t.Fatalf("default watchdog %v, want %v", d, DefaultWatchdog)
+	}
+	in2 := NewInjector(MustParsePlan("killnode=1,wdog=7us"))
+	if d := in2.WatchdogDeadline(); d != 7*sim.Us {
+		t.Fatalf("watchdog %v, want 7us", d)
+	}
+	var nilIn *Injector
+	if nilIn.HardFaults() || nilIn.NodeKilledAt(0, 0) {
+		t.Fatal("nil injector reports hard faults")
+	}
+}

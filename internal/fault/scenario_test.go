@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"anton/internal/cluster"
+	"anton/internal/collective"
 	"anton/internal/fault"
 	"anton/internal/machine"
 	"anton/internal/noc"
@@ -160,6 +161,71 @@ func stallBurst() string {
 	return b.String()
 }
 
+// killedLinkAllReduce: a link killed mid-all-reduce on a 4x4x4 machine.
+// The fault-aware tables detour subsequent traffic; anything caught on
+// the dying link is re-issued by the counter watchdog. The report pins
+// the degraded completion time against the intact one and the full
+// recovery tally.
+func killedLinkAllReduce() string {
+	plan := fault.MustParsePlan("seed=9,killlink=0:X+@100ns,wdog=5us")
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: killed link mid-all-reduce\nplan: %v\n", plan)
+	b.WriteString("torus 4x4x4, 32B dimension-ordered all-reduce, 0:X+ killed at 100 ns\n")
+	run := func(p fault.Plan) (sim.Dur, machine.RecoveryStats) {
+		s := sim.New()
+		fault.Attach(s, p)
+		m := machine.New(s, topo.NewTorus(4, 4, 4), noc.DefaultModel())
+		ar := collective.NewAllReduce(m, collective.DefaultConfig(32))
+		var done sim.Time
+		ar.Run(nil, func(at sim.Time) { done = at })
+		s.Run()
+		return sim.Dur(done), m.Recovery()
+	}
+	intact, _ := run(fault.MustParsePlan("seed=9"))
+	killed, rec := run(plan)
+	fmt.Fprintf(&b, "intact all-reduce: %.3f us\n", intact.Us())
+	fmt.Fprintf(&b, "killed all-reduce: %.3f us (%+.3f us)\n", killed.Us(), (killed - intact).Us())
+	fmt.Fprintf(&b, "recovery: %v\n", rec)
+	return b.String()
+}
+
+// deadNodeDegraded: a node dead from t=0. Counted writes addressed to it
+// are lost, its own sends are lost at the source, and every wait that
+// depends on it completes degraded via the watchdog instead of hanging
+// the simulation.
+func deadNodeDegraded() string {
+	plan := fault.MustParsePlan("seed=9,killnode=21,wdog=2us")
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: dead node, degraded waits\nplan: %v\n", plan)
+	b.WriteString("torus 4x4x4, node 21 dead from t=0, watchdog 2 us\n")
+
+	s := sim.New()
+	fault.Attach(s, plan)
+	m := machine.New(s, topo.NewTorus(4, 4, 4), noc.DefaultModel())
+	cl := func(n topo.NodeID) packet.Client { return packet.Client{Node: n, Kind: packet.Slice0} }
+	dead := topo.NodeID(21)
+
+	// Three live nodes write to the dead node, whose software waits for
+	// all three; a live node waits on a write the dead node will never
+	// manage to send.
+	var deadWait, liveWait sim.Time
+	m.Client(cl(dead)).Wait(3, 3, func() { deadWait = s.Now() })
+	for i := 0; i < 3; i++ {
+		m.Client(cl(topo.NodeID(i))).Write(cl(dead), 3, 0, 8, 1)
+	}
+	m.Client(cl(0)).Wait(4, 2, func() { liveWait = s.Now() })
+	m.Client(cl(1)).Write(cl(0), 4, 0, 8, 7)
+	m.Client(cl(dead)).Write(cl(0), 4, 8, 8, 9)
+	s.Run()
+
+	fmt.Fprintf(&b, "wait on dead node completed degraded at %.3f us\n", sim.Dur(deadWait).Us())
+	fmt.Fprintf(&b, "live wait on a dead source completed degraded at %.3f us\n", sim.Dur(liveWait).Us())
+	fmt.Fprintf(&b, "live write payload stored: %v, dead source's address untouched: %v\n",
+		m.Client(cl(0)).Mem(0, 1)[0], m.Client(cl(0)).Mem(8, 1)[0])
+	fmt.Fprintf(&b, "recovery: %v\n", m.Recovery())
+	return b.String()
+}
+
 func TestScenarioGoldens(t *testing.T) {
 	scenarios := []struct {
 		name string
@@ -169,6 +235,8 @@ func TestScenarioGoldens(t *testing.T) {
 		{"dead_then_recovered", deadThenRecovered},
 		{"cluster_drops", clusterDrops},
 		{"stall_burst", stallBurst},
+		{"killed_link_allreduce", killedLinkAllReduce},
+		{"dead_node_degraded", deadNodeDegraded},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

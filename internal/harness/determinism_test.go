@@ -6,9 +6,9 @@ import "testing"
 // goroutines the sweeps use: each sweep point owns a private simulator
 // instance and rows are assembled in index order.
 func TestSweepReportsWorkerIndependent(t *testing.T) {
-	ids := []string{"ablate-allreduce", "fig7", "faultsweep", "fig5"}
+	ids := []string{"ablate-allreduce", "fig7", "faultsweep", "killsweep", "fig5"}
 	if testing.Short() {
-		ids = ids[:3]
+		ids = ids[:4]
 	}
 	defer SetWorkers(Workers())
 	for _, id := range ids {

@@ -12,8 +12,8 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"ablate-allreduce", "ablate-multicast", "ablate-staging",
 		"faultsweep", "fig11", "fig12", "fig13", "fig5", "fig6", "fig7",
-		"halfbw", "metrics", "migsync", "scaling", "table1", "table2",
-		"table3",
+		"halfbw", "killsweep", "metrics", "migsync", "scaling", "table1",
+		"table2", "table3",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -105,9 +105,10 @@ func (c *Client) counter(ctr packet.CounterID) *sim.Counter {
 // Wait schedules fn once counter ctr on this client reaches target. The
 // successful-poll overhead is already charged at delivery time for local
 // counters, so no additional cost applies: processing slices and HTIS units
-// directly poll their local synchronization counters.
+// directly poll their local synchronization counters. Under a hard-fault
+// plan the wait is guarded by the end-to-end watchdog (recovery.go).
 func (c *Client) Wait(ctr packet.CounterID, target uint64, fn func()) {
-	c.counter(ctr).Wait(target, 0, c.armed(ctr, target, fn))
+	c.m.waitGuarded(c, ctr, target, 0, fn)
 }
 
 // WaitRemote schedules fn once counter ctr reaches target, charging the
@@ -115,7 +116,7 @@ func (c *Client) Wait(ctr packet.CounterID, target uint64, fn func()) {
 // accumulation memory's counters across the on-chip network, which the
 // paper notes incurs much larger polling latencies.
 func (c *Client) WaitRemote(ctr packet.CounterID, target uint64, fn func()) {
-	c.counter(ctr).Wait(target, c.m.Model.AccumPoll, c.armed(ctr, target, fn))
+	c.m.waitGuarded(c, ctr, target, c.m.Model.AccumPoll, fn)
 }
 
 // armed brackets a counter wait with count-arm/count-fire lifecycle

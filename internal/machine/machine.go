@@ -60,6 +60,18 @@ type Machine struct {
 	// recorder never changes a simulation result.
 	metrics *metrics.Recorder
 
+	// Hard-failure survival state (recovery.go). All of it stays
+	// nil/zero — and every hard-path branch false — unless the attached
+	// plan permanently kills links or nodes, so plans without kills
+	// reproduce the static model bit for bit.
+	hard     bool
+	wdog     sim.Dur
+	rt       *topo.RouteTable
+	linkKill map[topo.LinkID]sim.Time
+	nodeKill map[topo.NodeID]sim.Time
+	deficit  map[recKey]*recState
+	rec      RecoveryStats
+
 	stats Stats
 }
 
@@ -168,6 +180,9 @@ func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 		}
 		m.nodes[id] = n
 	}
+	if m.faults.HardFaults() {
+		m.setupHardFaults()
+	}
 	return m
 }
 
@@ -252,6 +267,13 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 	// inject a packet.
 	lat += m.faults.NodeSlowExtra(int(src.Addr.Node), lat)
 	src.send.Acquire(gap, func(start sim.Time) {
+		if m.hard && m.nodeDeadNow(src.Addr.Node) {
+			// A dead node's software halts: nothing reaches the wire, and
+			// every delivery this injection would have made becomes a
+			// permanent counter deficit at its destinations.
+			m.loseSend(pkt, src.Addr)
+			return
+		}
 		if m.OnSend != nil {
 			m.OnSend(pkt, start)
 		}
@@ -266,6 +288,10 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 		if pkt.Dst.Node == src.Addr.Node {
 			// Node-local delivery travels the on-chip ring only.
 			m.deliverLocal(pkt, node.clients[pkt.Dst.Kind], inject.Add(model.LocalRing))
+			return
+		}
+		if m.hard {
+			m.forwardHard(pkt, node, inject, true)
 			return
 		}
 		route := m.Torus.Route(node.Coord, m.Torus.Coord(pkt.Dst.Node))
@@ -312,6 +338,12 @@ func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, ste
 // nodes (ring traversal from the arriving link adapter).
 func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atSource bool) {
 	model := &m.Model
+	if m.hard && m.nodeDeadNow(node.ID) {
+		// The fan-out node died under the packet: the whole remaining
+		// subtree is lost in flight.
+		m.loseSubtree(pkt, node.ID)
+		return
+	}
 	entry, ok := node.mc.Lookup(pkt.Multicast)
 	if !ok {
 		panic(fmt.Sprintf("machine: multicast pattern %d not installed on node %d", pkt.Multicast, node.ID))
@@ -339,17 +371,36 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 		port := port
 		link := node.links[topo.PortIndex(port)]
 		m.Sim.At(head, func() {
+			nextID := m.Torus.ID(m.Torus.Neighbor(node.Coord, port))
+			if m.hard && (m.linkDeadNow(topo.LinkID{Node: node.ID, Port: port}) || m.nodeDeadNow(nextID)) {
+				// The branch is already known dead: fall back to unicast
+				// copies over the recomputed routes for every destination
+				// in the subtree, instead of losing them and paying a
+				// watchdog round trip on every send.
+				m.mcReroute(pkt, node, nextID, m.Sim.Now())
+				return
+			}
 			service := model.LinkService(pkt.WireBytes())
 			extra := m.faults.LinkExtra(int(node.ID), port, service, nextStart(m.Sim, link))
 			m.metrics.HopDepart(pkt.Seq, node.ID, port, m.Sim.Now())
 			link.Acquire(service+extra, func(start sim.Time) {
+				arrival := start.Add(extra).Add(model.AdapterPair[port.Dim])
+				next := m.nodes[m.Torus.ID(m.Torus.Neighbor(node.Coord, port))]
+				if m.hard {
+					if kt, ok := m.linkKillTime(topo.LinkID{Node: node.ID, Port: port}); ok && kt < start.Add(service+extra) {
+						m.loseSubtree(pkt, next.ID)
+						return
+					}
+					if kt, ok := m.nodeKillTime(next.ID); ok && kt <= arrival {
+						m.loseSubtree(pkt, next.ID)
+						return
+					}
+				}
 				if m.OnLink != nil {
 					m.OnLink(node.ID, port, start, service+extra)
 				}
 				m.metrics.LinkTransfer(pkt.Seq, node.ID, port, start, service+extra,
 					pkt.WireBytes(), start.Sub(head))
-				arrival := start.Add(extra).Add(model.AdapterPair[port.Dim])
-				next := m.nodes[m.Torus.ID(m.Torus.Neighbor(node.Coord, port))]
 				m.metrics.HopArrive(pkt.Seq, next.ID, arrival)
 				m.multicastAt(pkt, next, arrival, false)
 			})
@@ -364,6 +415,10 @@ func (m *Machine) deliverLocal(pkt *packet.Packet, dst *Client, at sim.Time) {
 	model := &m.Model
 	service := model.ClientService(dst.Addr.Kind, pkt.WireBytes())
 	m.Sim.At(at, func() {
+		if m.hard && m.nodeDeadNow(dst.Addr.Node) {
+			m.losePacket(pkt, dst.Addr, lossDstDead)
+			return
+		}
 		dst.recv.Acquire(service, func(start sim.Time) {
 			m.metrics.DeliverStart(pkt.Seq, dst.Addr, start)
 			lat := model.DeliverLatency(dst.Addr.Kind)

@@ -104,6 +104,18 @@ func (r *Recorder) ChromeTrace() []byte {
 		case EvCountFire:
 			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("fire ctr %d >= %d", e.Aux, e.Seq),
 				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
+		case EvPacketLost:
+			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("lost pkt %d (reason %d)", e.Seq, e.Aux),
+				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
+		case EvWatchdogFire:
+			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("watchdog ctr %d >= %d", e.Aux, e.Seq),
+				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
+		case EvReissue:
+			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("reissue pkt %d ctr %d", e.Seq, e.Aux),
+				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
+		case EvDegraded:
+			emit(chromeEvent{ph: 'i', name: fmt.Sprintf("degraded ctr %d (missing %d)", e.Aux, e.Seq),
+				pid: int64(e.Node), tid: tidClientBase + int64(e.Client), ts: e.At})
 		case EvClusterSend:
 			lastCl[e.Seq] = e.At
 			clSrc[e.Seq] = e.Node

@@ -51,6 +51,10 @@ const (
 	EvCountFire                       // a counter wait's threshold was met and observed
 	EvClusterSend                     // cluster rank issued a message
 	EvClusterDeliver                  // cluster message landed in receiver software
+	EvPacketLost                      // packet destroyed by a hard fault (killed link/node)
+	EvWatchdogFire                    // counter watchdog deadline expired, recovery examined the wait
+	EvReissue                         // lost counted write re-sent over the recomputed routes
+	EvDegraded                        // wait completed in degraded mode with synthesized increments
 	numEventKinds
 )
 
@@ -58,6 +62,7 @@ var eventKindNames = [numEventKinds]string{
 	"inject", "ring-enter", "hop-depart", "serialize-start", "serialize-end",
 	"hop-arrive", "deliver-start", "deliver", "count-arm", "count-fire",
 	"cluster-send", "cluster-deliver",
+	"packet-lost", "watchdog-fire", "reissue", "degraded",
 }
 
 func (k EventKind) String() string {
@@ -249,6 +254,44 @@ func (r *Recorder) ClusterDeliver(seq uint64, dst int, at sim.Time) {
 		return
 	}
 	r.add(Event{At: at, Seq: seq, Kind: EvClusterDeliver, Node: int32(dst), Port: -1, Client: -1})
+}
+
+// PacketLost records packet seq being destroyed by a hard fault on its
+// way to dst; reason is the machine layer's loss-reason code.
+func (r *Recorder) PacketLost(seq uint64, dst packet.Client, reason int, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.add(Event{At: at, Seq: seq, Kind: EvPacketLost, Node: int32(dst.Node), Port: -1, Client: int8(dst.Kind), Aux: int64(reason)})
+}
+
+// WatchdogFire records the end-to-end counter watchdog finding the wait
+// (counter ctr on client c reaching target) still incomplete at its
+// deadline and entering recovery.
+func (r *Recorder) WatchdogFire(c packet.Client, ctr packet.CounterID, target uint64, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.add(Event{At: at, Seq: target, Kind: EvWatchdogFire, Node: int32(c.Node), Port: -1, Client: int8(c.Kind), Aux: int64(ctr)})
+}
+
+// Reissue records the recovery path re-sending the lost counted write
+// seq (its original sequence number) toward dst.
+func (r *Recorder) Reissue(seq uint64, dst packet.Client, ctr packet.CounterID, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.add(Event{At: at, Seq: seq, Kind: EvReissue, Node: int32(dst.Node), Port: -1, Client: int8(dst.Kind), Aux: int64(ctr)})
+}
+
+// Degraded records a wait on client c completing in degraded mode:
+// missing increments from permanently dead sources were synthesized so
+// the timestep could proceed.
+func (r *Recorder) Degraded(c packet.Client, ctr packet.CounterID, missing uint64, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.add(Event{At: at, Seq: missing, Kind: EvDegraded, Node: int32(c.Node), Port: -1, Client: int8(c.Kind), Aux: int64(ctr)})
 }
 
 // Span records a labelled machine-wide phase interval.
