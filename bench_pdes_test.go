@@ -1,0 +1,28 @@
+package anton
+
+import (
+	"fmt"
+	"testing"
+
+	"anton/internal/harness"
+)
+
+// BenchmarkPDES times the parallel event kernel on the perf-gate
+// workloads at the worker counts the committed BENCH_pdes.json baseline
+// tracks. The simulated event count is attached as a custom metric; it
+// is identical at every worker setting — only the host wall clock
+// changes. cmd/benchgate runs the same workloads (via
+// harness.PDESBenchmarks) and gates CI on the wall-time trajectory.
+func BenchmarkPDES(b *testing.B) {
+	for _, bm := range harness.PDESBenchmarks() {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", bm.Name, workers), func(b *testing.B) {
+				var events uint64
+				for i := 0; i < b.N; i++ {
+					events = bm.Run(workers)
+				}
+				b.ReportMetric(float64(events), "sim-events")
+			})
+		}
+	}
+}

@@ -1,37 +1,81 @@
 #!/bin/sh
-# CI gate: static checks plus the race-detector run of the short test
-# suite. The goroutine-parallel compute layer (internal/par and its
-# users) must stay clean under the race detector; the -short suite keeps
-# the gate fast while still covering every package, including the
-# par stress test and the bit-determinism equivalence tests.
+# CI gate: lint and static checks, the race-detector run of the short
+# test suite, the named subsystem batteries (fault injection, metrics,
+# hard-failure recovery, checkpoint/restart), the PDES golden-identity
+# gate (every report byte-identical at any -workers setting), and the
+# PDES perf-trajectory gate against the committed BENCH_pdes.json.
 #
 # Usage: ./ci.sh
+#
+# Environment:
+#   BENCH_TOLERANCE  relative wall-time regression that fails the perf
+#                    gate (default 0.15; CI runners with noisy
+#                    neighbours set it looser). After a deliberate perf
+#                    or model change, re-baseline with:
+#                    go run ./cmd/benchgate -update
 set -eu
 
-echo "== go vet =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# stage NAME closes the previous stage with its wall time and opens the
+# next, so the CI log shows where the minutes go.
+ci_start=$(date +%s)
+stage_start=$ci_start
+stage_name=""
+stage() {
+	now=$(date +%s)
+	if [ -n "$stage_name" ]; then
+		echo "-- $stage_name: $((now - stage_start))s"
+	fi
+	stage_name=$1
+	stage_start=$now
+	echo "== $1 =="
+}
+
+stage "lint"
+# gofmt must be clean repo-wide; shellcheck guards this script when the
+# host has it (graceful skip otherwise — CI images vary).
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+if command -v shellcheck >/dev/null 2>&1; then
+	shellcheck ci.sh
+else
+	echo "shellcheck not installed; skipping"
+fi
+
+stage "go vet"
 go vet ./...
 
-echo "== go vet (fault layer) =="
-go vet ./internal/fault
-
-echo "== go build =="
+stage "go build"
+# Compile everything once, and install the CLIs the later stages loop
+# over into $tmpdir/bin so each `go run` below becomes a plain binary
+# invocation instead of a rebuild.
 go build ./...
+mkdir -p "$tmpdir/bin"
+go build -o "$tmpdir/bin/antonbench" ./cmd/antonbench
+go build -o "$tmpdir/bin/mdsim" ./cmd/mdsim
+go build -o "$tmpdir/bin/benchgate" ./cmd/benchgate
 
-echo "== go test -race -short =="
+stage "go test -race -short"
 go test -race -short ./...
 
-echo "== fault suite (-race -short) =="
+stage "fault suite (-race -short)"
 # The fault-injection subsystem and its consumers: the injector unit
 # tests, the scenario goldens, the collective losslessness test, and the
 # zero-rate golden-identity gate. Redundant with the full sweep above,
 # but kept explicit so a fault regression is named in CI output.
 go test -race -short ./internal/fault ./internal/collective ./cmd/antonbench
 
-echo "== fuzz corpus (FuzzFaultPlanParse seeds) =="
+stage "fuzz corpus (FuzzFaultPlanParse seeds)"
 # Runs the checked-in seed corpus as regular tests (no fuzzing time).
 go test -run FuzzFaultPlanParse ./internal/fault
 
-echo "== metrics-suite =="
+stage "metrics suite"
 # The measured-latency observability layer: unit and property tests
 # (histogram merge associativity/commutativity, count conservation),
 # the Figure 6 measured-vs-calibrated cross-validation, the golden
@@ -42,13 +86,11 @@ go test ./internal/metrics
 go test -race -run 'ParallelShardMerge|MetricsArtifactsWorkerIndependent|MetricsZeroOverheadIdentity' \
 	./internal/metrics ./internal/harness ./cmd/antonbench
 
-echo "== metrics worker-independence (BENCH_metrics.json) =="
+stage "metrics worker-independence (BENCH_metrics.json)"
 # The machine-readable artifact must be byte-identical at any -workers
 # setting; exercised through the real CLI.
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
 for w in 1 4 8; do
-	go run ./cmd/antonbench -quick -workers "$w" \
+	"$tmpdir/bin/antonbench" -quick -workers "$w" \
 		-bench-out "$tmpdir/bench-$w.json" -trace-out "$tmpdir/trace-$w.json" metrics >/dev/null
 done
 cmp "$tmpdir/bench-1.json" "$tmpdir/bench-4.json"
@@ -56,7 +98,7 @@ cmp "$tmpdir/bench-1.json" "$tmpdir/bench-8.json"
 cmp "$tmpdir/trace-1.json" "$tmpdir/trace-4.json"
 cmp "$tmpdir/trace-1.json" "$tmpdir/trace-8.json"
 
-echo "== recovery-suite =="
+stage "recovery suite"
 # Hard-failure survival: the machine and cluster recovery batteries
 # (fault-aware rerouting, watchdog reissue/degraded waits, uplink
 # failover), the detour-route property tests, the killed-link and
@@ -67,20 +109,41 @@ go test -race -run 'KilledLink|DeadNode|Watchdog|Reissue|InOrderTickets|Recovery
 go test ./internal/checkpoint
 go test -run Killsweep ./cmd/antonbench
 
-echo "== checkpoint/restart bit-identity =="
+stage "checkpoint/restart bit-identity"
 # Kill a faulted mdsim run at step N/2, restore, and continue: the
 # restored output must be byte-identical to a run that was never killed,
 # at any -workers setting and across worker counts.
 mdflags="-faults seed=9,killlink=0:X+@2us,wdog=15us -engine-molecules 16 -atoms 4000 -torus 2x2x2"
-go run ./cmd/mdsim $mdflags -steps 12 -workers 1 >"$tmpdir/md-full.out"
+# shellcheck disable=SC2086  # mdflags is a deliberately word-split flag list
+"$tmpdir/bin/mdsim" $mdflags -steps 12 -workers 1 >"$tmpdir/md-full.out"
 for w in 1 4 8; do
-	go run ./cmd/mdsim $mdflags -steps 6 -workers "$w" -checkpoint-out "$tmpdir/md-$w.ckpt" >/dev/null
-	go run ./cmd/mdsim -restore "$tmpdir/md-$w.ckpt" -steps 12 -workers "$w" >"$tmpdir/md-$w.out"
+	# shellcheck disable=SC2086
+	"$tmpdir/bin/mdsim" $mdflags -steps 6 -workers "$w" -checkpoint-out "$tmpdir/md-$w.ckpt" >/dev/null
+	"$tmpdir/bin/mdsim" -restore "$tmpdir/md-$w.ckpt" -steps 12 -workers "$w" >"$tmpdir/md-$w.out"
 	cmp "$tmpdir/md-full.out" "$tmpdir/md-$w.out"
 done
 # Cross-worker: a snapshot taken at one worker count restores bit-
 # identically at another.
-go run ./cmd/mdsim -restore "$tmpdir/md-4.ckpt" -steps 12 -workers 8 >"$tmpdir/md-cross.out"
+"$tmpdir/bin/mdsim" -restore "$tmpdir/md-4.ckpt" -steps 12 -workers 8 >"$tmpdir/md-cross.out"
 cmp "$tmpdir/md-full.out" "$tmpdir/md-cross.out"
 
-echo "CI checks passed."
+stage "PDES golden identity (workers 1 vs 8)"
+# The parallel event kernel must not change a byte of any experiment
+# report. Run the headline latency experiment plus both fault sweeps
+# through the real CLI sequentially and fully parallel, strip the
+# wall-clock footers ("[id completed in N.Ns]" — the only real-time
+# lines), and require identical bytes.
+for w in 1 8; do
+	"$tmpdir/bin/antonbench" -quick -workers "$w" fig6 faultsweep killsweep |
+		sed '/^\[.* completed in /d' >"$tmpdir/pdes-$w.out"
+done
+cmp "$tmpdir/pdes-1.out" "$tmpdir/pdes-8.out"
+
+stage "PDES perf gate (BENCH_pdes.json)"
+# Time the kernel on the gate workloads at workers 1/4/8 and compare
+# wall time against the committed baseline; exact event counts are part
+# of the contract. Regenerates the artifact into $tmpdir for inspection.
+"$tmpdir/bin/benchgate" -baseline BENCH_pdes.json -out "$tmpdir/BENCH_pdes.json"
+
+stage "done"
+echo "CI checks passed in $((stage_start - ci_start))s."

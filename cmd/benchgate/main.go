@@ -1,0 +1,248 @@
+// Command benchgate is the PDES perf-trajectory gate. It times the
+// parallel event kernel on the shared benchmark workloads
+// (harness.PDESBenchmarks) at a fixed set of worker counts, then
+// compares host wall time per operation against the committed baseline
+// BENCH_pdes.json and exits nonzero on a regression beyond the
+// tolerance.
+//
+// Usage:
+//
+//	benchgate [-baseline BENCH_pdes.json] [-tolerance 0.15] [-workers 1,4,8]
+//	          [-benchtime 1s] [-out fresh.json] [-update]
+//
+// The committed baseline pins two things with different strictness:
+//
+//   - events: the number of simulation events each workload fires. This
+//     is a pure function of the model — identical on every host and at
+//     every -workers setting — so any mismatch fails the gate exactly.
+//     A deliberate model change updates it via -update.
+//   - wall_ns_per_op: host wall time, inherently machine- and
+//     load-dependent, gated with a relative tolerance (default 0.15,
+//     overridable by the BENCH_TOLERANCE environment variable — CI
+//     runners with noisy neighbours set it looser).
+//
+// -update rewrites the baseline from the fresh measurements instead of
+// comparing, which is how both deliberate perf trajectory changes and
+// model changes land.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anton/internal/harness"
+)
+
+// benchSchema versions the BENCH_pdes.json layout.
+const benchSchema = "anton-bench/v1"
+
+// Result is one (workload, workers) measurement.
+type Result struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	WallNsPerOp  int64   `json:"wall_ns_per_op"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// File is the BENCH_pdes.json payload.
+type File struct {
+	Schema  string   `json:"schema"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pdes.json", "committed baseline to compare against (and rewrite with -update)")
+	tolerance := flag.Float64("tolerance", defaultTolerance(), "relative wall-time regression that fails the gate (BENCH_TOLERANCE env overrides the default)")
+	workersFlag := flag.String("workers", "1,4,8", "comma-separated PDES kernel worker counts to measure")
+	benchtime := flag.String("benchtime", "1s", "minimum measurement time per (workload, workers) point")
+	repeat := flag.Int("repeat", 3, "measurements per point; the minimum wall time is kept (noise robustness)")
+	out := flag.String("out", "", "also write the fresh measurements to this file")
+	update := flag.Bool("update", false, "rewrite the baseline from the fresh measurements instead of comparing")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatalf("-benchtime %q: %v", *benchtime, err)
+	}
+	workerCounts, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fatalf("-workers: %v", err)
+	}
+	if *repeat < 1 {
+		fatalf("-repeat must be at least 1")
+	}
+
+	fresh := measure(workerCounts, *repeat)
+	if *out != "" {
+		if err := writeFile(*out, fresh); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *update {
+		if err := writeFile(*baseline, fresh); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("benchgate: wrote baseline %s (%d results)\n", *baseline, len(fresh.Results))
+		return
+	}
+
+	base, err := readFile(*baseline)
+	if err != nil {
+		fatalf("%v (run with -update to create the baseline)", err)
+	}
+	if compare(base, fresh, *tolerance) {
+		fmt.Println("benchgate: PASS")
+		return
+	}
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// defaultTolerance is 0.15 unless the BENCH_TOLERANCE environment
+// variable overrides it.
+func defaultTolerance() float64 {
+	if v := os.Getenv("BENCH_TOLERANCE"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || t < 0 {
+			fatalf("BENCH_TOLERANCE=%q is not a non-negative number", v)
+		}
+		return t
+	}
+	return 0.15
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// measure times every gate workload at every worker count with the
+// testing package's benchmark machinery (adaptive b.N against
+// -benchtime), keeps the minimum of repeat measurements — the
+// statistic least disturbed by scheduler and cache noise — and reports
+// progress on stderr so CI logs show where the time goes.
+func measure(workerCounts []int, repeat int) File {
+	f := File{Schema: benchSchema}
+	for _, bm := range harness.PDESBenchmarks() {
+		for _, w := range workerCounts {
+			bm, w := bm, w
+			var events uint64
+			var nsPerOp int64
+			for k := 0; k < repeat; k++ {
+				r := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						events = bm.Run(w)
+					}
+				})
+				if ns := r.NsPerOp(); k == 0 || ns < nsPerOp {
+					nsPerOp = ns
+				}
+			}
+			res := Result{
+				Name:        bm.Name,
+				Workers:     w,
+				WallNsPerOp: nsPerOp,
+				Events:      events,
+			}
+			if nsPerOp > 0 {
+				res.EventsPerSec = float64(events) / (float64(nsPerOp) / 1e9)
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: %-6s workers=%d  %12d ns/op  %10.0f events/sec  (min of %d)\n",
+				bm.Name, w, nsPerOp, res.EventsPerSec, repeat)
+			f.Results = append(f.Results, res)
+		}
+	}
+	return f
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %v", path, err)
+	}
+	if f.Schema != benchSchema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return f, nil
+}
+
+func writeFile(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare renders the baseline-vs-fresh table and returns whether the
+// gate passes: every baseline point must be present, fire exactly the
+// baseline's event count, and not regress in wall time beyond the
+// tolerance.
+func compare(base, fresh File, tolerance float64) bool {
+	key := func(r Result) string { return fmt.Sprintf("%s/workers=%d", r.Name, r.Workers) }
+	got := map[string]Result{}
+	for _, r := range fresh.Results {
+		got[key(r)] = r
+	}
+	inBase := map[string]bool{}
+	for _, b := range base.Results {
+		inBase[key(b)] = true
+	}
+	ok := true
+	fmt.Printf("%-16s %14s %14s %8s %14s  %s\n",
+		"workload", "baseline ns/op", "measured ns/op", "delta", "events/sec", "verdict")
+	for _, b := range base.Results {
+		k := key(b)
+		c, found := got[k]
+		if !found {
+			fmt.Printf("%-16s %14d %14s %8s %14s  MISSING\n", k, b.WallNsPerOp, "-", "-", "-")
+			ok = false
+			continue
+		}
+		delta := float64(c.WallNsPerOp)/float64(b.WallNsPerOp) - 1
+		verdict := "ok"
+		switch {
+		case c.Events != b.Events:
+			verdict = fmt.Sprintf("FAIL: fired %d events, baseline pinned %d (model changed? re-baseline with -update)",
+				c.Events, b.Events)
+			ok = false
+		case delta > tolerance:
+			verdict = fmt.Sprintf("FAIL: wall-time regression beyond %.0f%% tolerance", 100*tolerance)
+			ok = false
+		case delta < -tolerance:
+			verdict = "ok (faster than baseline; consider ratcheting with -update)"
+		}
+		fmt.Printf("%-16s %14d %14d %+7.1f%% %14.0f  %s\n",
+			k, b.WallNsPerOp, c.WallNsPerOp, 100*delta, c.EventsPerSec, verdict)
+	}
+	for _, c := range fresh.Results {
+		if !inBase[key(c)] {
+			fmt.Printf("%-16s %14s %14d %8s %14.0f  not in baseline (add with -update)\n",
+				key(c), "-", c.WallNsPerOp, "-", c.EventsPerSec)
+		}
+	}
+	return ok
+}

@@ -50,8 +50,9 @@ func parseTorus(s string) (topo.Torus, error) {
 	return topo.NewTorus(x, y, z), nil
 }
 
-func measure(tor topo.Torus, from, to topo.Coord, bytes int, plan *fault.Plan, record bool) (sim.Dur, fault.Stats, *metrics.Recorder) {
+func measure(tor topo.Torus, from, to topo.Coord, bytes, workers int, plan *fault.Plan, record bool) (sim.Dur, fault.Stats, *metrics.Recorder) {
 	s := sim.New()
+	s.SetWorkers(workers)
 	if plan != nil {
 		fault.Attach(s, *plan)
 	}
@@ -76,7 +77,7 @@ func main() {
 	bytes := flag.Int("bytes", 0, "payload size (0-256)")
 	sweep := flag.Bool("sweep", false, "sweep payload sizes 0..256")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"goroutines for the payload sweep (1 = sequential; output is identical for any value)")
+		"goroutines for the payload sweep and the PDES kernel (1 = sequential; output is identical for any value)")
 	faultsFlag := flag.String("faults", "",
 		"fault plan for the measured machine (e.g. seed=7,corrupt=0.1,retry=50ns)")
 	traceOut := flag.String("trace-out", "",
@@ -119,14 +120,14 @@ func main() {
 		sizes := []int{0, 8, 16, 32, 64, 128, 192, 256}
 		lats := make([]sim.Dur, len(sizes))
 		par.ParFor(par.Workers(*workers), len(sizes), func(i int) {
-			lats[i], _, _ = measure(tor, from, to, sizes[i], plan, false)
+			lats[i], _, _ = measure(tor, from, to, sizes[i], *workers, plan, false)
 		})
 		for i, b := range sizes {
 			fmt.Printf("%8d %12.1f\n", b, lats[i].Ns())
 		}
 		return
 	}
-	lat, stats, rec := measure(tor, from, to, *bytes, plan, *traceOut != "")
+	lat, stats, rec := measure(tor, from, to, *bytes, *workers, plan, *traceOut != "")
 	fmt.Printf("one-way software-to-software latency (%dB payload): %.1f ns\n", *bytes, lat.Ns())
 	if plan != nil {
 		fmt.Printf("faults (plan %v): %v\n", plan, stats)

@@ -21,22 +21,22 @@ func FuzzFaultPlanParse(f *testing.F) {
 		"down=0:X+@1us:5us;3:Z-@0ns:100ns",
 		"killlink=0:X+@1us;3:Y-@0ns",
 		"killnode=5@2us,wdog=25us",
-		"killlink=0:X+",                  // implicit @0ns
-		"killnode=7",                     // implicit @0ns
+		"killlink=0:X+", // implicit @0ns
+		"killnode=7",    // implicit @0ns
 		"seed=3,killlink=1:Z+@500ns,killnode=2@1us,wdog=15us",
-		"killlink=0:X+;0:X+",             // duplicate kill target
-		"killnode=4@1us;4@2us",           // duplicate kill target
-		"killlink=0:X+@-1ns",             // negative kill time
-		"killnode=-1",                    // negative node
-		"wdog=-5us",                      // negative watchdog
-		"down=0:X+@1us:1us",              // empty window (now rejected)
-		"seed=1,corrupt=2",          // invalid rate
-		"retry=-5ns",                // invalid duration
-		"links=0:Q+",                // invalid port
-		"down=0:X+@5us:1us",         // unordered window
-		"corrupt=nan",               // non-finite
-		"seed=42,corrupt=1e-3,,",    // empty field
-		"retry=9999999999999999ms",  // overflow
+		"killlink=0:X+;0:X+",       // duplicate kill target
+		"killnode=4@1us;4@2us",     // duplicate kill target
+		"killlink=0:X+@-1ns",       // negative kill time
+		"killnode=-1",              // negative node
+		"wdog=-5us",                // negative watchdog
+		"down=0:X+@1us:1us",        // empty window (now rejected)
+		"seed=1,corrupt=2",         // invalid rate
+		"retry=-5ns",               // invalid duration
+		"links=0:Q+",               // invalid port
+		"down=0:X+@5us:1us",        // unordered window
+		"corrupt=nan",              // non-finite
+		"seed=42,corrupt=1e-3,,",   // empty field
+		"retry=9999999999999999ms", // overflow
 		"stalldur=123ps,timeout=1ms",
 	} {
 		f.Add(seed)

@@ -10,6 +10,7 @@ import (
 	"anton/internal/mdmap"
 	"anton/internal/noc"
 	"anton/internal/packet"
+	"anton/internal/par"
 	"anton/internal/sim"
 	"anton/internal/topo"
 )
@@ -45,6 +46,7 @@ func SweepFaultPlan(rate float64) fault.Plan {
 // -faults flag does not double-inject here.
 func faultSim(p fault.Plan) *sim.Sim {
 	s := sim.New()
+	s.SetWorkers(par.Workers(Workers()))
 	fault.Attach(s, p)
 	return s
 }

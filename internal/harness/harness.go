@@ -35,12 +35,16 @@ func register(e Experiment) { registry[e.ID] = e }
 // around concurrent experiment runs.
 var workers int64 = 1
 
-// SetWorkers sets the number of goroutines experiment sweeps may use:
+// SetWorkers sets the number of goroutines experiments may use:
 // 1 (the default) runs everything on the calling goroutine, 0 or a
-// negative value resolves to GOMAXPROCS. Every experiment's rendered
-// report is byte-identical for any setting, because each sweep point
-// owns a private simulator instance and results are assembled in index
-// order.
+// negative value resolves to GOMAXPROCS. The setting feeds two layers:
+// experiment sweeps run their independent simulator instances on a pool
+// of this size, and every simulator the harness builds passes it to the
+// PDES kernel (sim.SetWorkers), which parallelizes the event-queue work
+// inside a single simulation over spatial domains. Every experiment's
+// rendered report is byte-identical for any setting — sweep points own
+// private simulators assembled in index order, and the PDES executor
+// commits events in the sequential kernel's canonical order.
 func SetWorkers(n int) { atomic.StoreInt64(&workers, int64(n)) }
 
 // Workers reports the current sweep pool size.
@@ -81,6 +85,7 @@ func MetricsEnabled() bool { return metricsOn.Load() }
 // perturbs the whole evaluation.
 func NewSim() *sim.Sim {
 	s := sim.New()
+	s.SetWorkers(par.Workers(Workers()))
 	if p := faultPlan.Load(); p != nil {
 		fault.Attach(s, *p)
 	}

@@ -135,7 +135,7 @@ func killsweep(quick bool) string {
 	for i, r := range rows {
 		t.Row(fmt.Sprintf("%d", ks[i]),
 			fmt.Sprintf("%.2f", r.ar.Us()),
-			fmt.Sprintf("%+.2f", (r.ar - base.ar).Us()),
+			fmt.Sprintf("%+.2f", (r.ar-base.ar).Us()),
 			fmt.Sprintf("%d", r.rec.Lost),
 			fmt.Sprintf("%d", r.rec.Reissues),
 			fmt.Sprintf("%d", r.rec.Rerouted),

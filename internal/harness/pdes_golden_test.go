@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+// TestPDESGoldenIdentity pins the determinism contract of the parallel
+// event kernel at the report level: the rendered experiment reports
+// must be byte-identical between the sequential kernel and the
+// partitioned executor at any worker count. fig6 runs one 512-node
+// simulator (64 domains — pure single-simulation parallelism), while
+// the fault sweeps layer the kernel under the sweep pool, the fault
+// injector, and watchdog recovery.
+func TestPDESGoldenIdentity(t *testing.T) {
+	ids := []string{"fig6", "faultsweep", "killsweep"}
+	if testing.Short() {
+		ids = ids[:2]
+	}
+	defer SetWorkers(Workers())
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		SetWorkers(1)
+		want := e.Run(true)
+		for _, w := range []int{2, 8} {
+			SetWorkers(w)
+			if got := e.Run(true); got != want {
+				t.Fatalf("%s: workers=%d report differs from sequential report\n--- sequential ---\n%s\n--- workers=%d ---\n%s",
+					id, w, want, w, got)
+			}
+		}
+	}
+}
+
+// TestPDESBenchEventsWorkerIndependent pins the other half of the
+// BENCH_pdes.json contract: each gate workload fires exactly the same
+// number of events at any kernel worker count, so the committed event
+// counts are machine-independent constants the perf gate can check
+// exactly.
+func TestPDESBenchEventsWorkerIndependent(t *testing.T) {
+	for _, bm := range PDESBenchmarks() {
+		if testing.Short() && bm.Name == "sweep" {
+			continue // several seconds per run; exercised without -short and by ci.sh
+		}
+		want := bm.Run(1)
+		if want == 0 {
+			t.Fatalf("%s: fired no events", bm.Name)
+		}
+		for _, w := range []int{4, 8} {
+			if got := bm.Run(w); got != want {
+				t.Fatalf("%s: workers=%d fired %d events, sequential fired %d", bm.Name, w, got, want)
+			}
+		}
+	}
+}

@@ -23,12 +23,13 @@ type Client struct {
 }
 
 func newClient(m *Machine, addr packet.Client) *Client {
+	dom := m.domain(addr.Node)
 	c := &Client{
 		Addr:     addr,
 		m:        m,
 		counters: make(map[packet.CounterID]*sim.Counter),
-		send:     sim.NewResource(m.Sim),
-		recv:     sim.NewResource(m.Sim),
+		send:     sim.NewResource(m.Sim).InDomain(dom),
+		recv:     sim.NewResource(m.Sim).InDomain(dom),
 	}
 	if addr.Kind.IsSlice() {
 		c.fifo = newFIFO(m, c)

@@ -72,8 +72,19 @@ type Machine struct {
 	deficit  map[recKey]*recState
 	rec      RecoveryStats
 
+	// ndom is the PDES spatial decomposition: contiguous node-ID slabs,
+	// one event queue per slab, windowed on the minimum link-adapter
+	// latency (see sim.Partition). Depends only on the torus, never on
+	// the worker count.
+	ndom int
+
 	stats Stats
 }
+
+// maxDomains caps the spatial decomposition so the per-window merge stays
+// shallow on the flagship 512-node machine while each domain still holds a
+// node slab large enough to batch meaningfully.
+const maxDomains = 64
 
 type pairKey struct {
 	src, dst packet.Client
@@ -137,7 +148,7 @@ func (m *Machine) commitInOrder(pkt *packet.Packet, dst packet.Client, avail sim
 			at = now
 		}
 		st.lastAt = at
-		m.Sim.At(at, p.fn)
+		m.Sim.AtDomain(m.domain(dst.Node), at, p.fn)
 	}
 }
 
@@ -164,6 +175,11 @@ func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 		faults:  fault.FromSim(s),
 		metrics: metrics.FromSim(s),
 	}
+	m.ndom = t.Nodes()
+	if m.ndom > maxDomains {
+		m.ndom = maxDomains
+	}
+	s.Partition(m.ndom, model.Lookahead())
 	m.nodes = make([]*Node, t.Nodes())
 	for id := range m.nodes {
 		n := &Node{
@@ -172,8 +188,9 @@ func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 			m:     m,
 			mc:    packet.NewMcTable(),
 		}
+		dom := m.domain(n.ID)
 		for p := range n.links {
-			n.links[p] = sim.NewResource(s)
+			n.links[p] = sim.NewResource(s).InDomain(dom)
 		}
 		for k := packet.ClientKind(0); k < packet.NumClients; k++ {
 			n.clients[k] = newClient(m, packet.Client{Node: n.ID, Kind: k})
@@ -191,6 +208,13 @@ func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 // use.
 func Default512(s *sim.Sim) *Machine {
 	return New(s, topo.NewTorus(8, 8, 8), noc.DefaultModel())
+}
+
+// domain maps a node to its PDES spatial domain: contiguous ID slabs,
+// which under the z-major torus numbering are spatial slabs, so a one-hop
+// neighbour is in the same or an adjacent domain.
+func (m *Machine) domain(n topo.NodeID) int {
+	return int(n) * m.ndom / len(m.nodes)
 }
 
 // Node returns the node with the given ID.
@@ -305,7 +329,10 @@ func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, ste
 	model := &m.Model
 	hop := route[step]
 	link := node.links[topo.PortIndex(hop.Port)]
-	m.Sim.At(head, func() {
+	// The hop's events belong to the egress node's domain; scheduling it
+	// from the previous node's arrival event is the cross-domain hand-off
+	// the link-adapter lookahead makes window-safe.
+	m.Sim.AtDomain(m.domain(node.ID), head, func() {
 		service := model.LinkService(pkt.WireBytes())
 		// Fault layer: CRC-detected flit corruption repaired by
 		// link-level retransmission, transient stalls, and scheduled
@@ -370,7 +397,7 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 		}
 		port := port
 		link := node.links[topo.PortIndex(port)]
-		m.Sim.At(head, func() {
+		m.Sim.AtDomain(m.domain(node.ID), head, func() {
 			nextID := m.Torus.ID(m.Torus.Neighbor(node.Coord, port))
 			if m.hard && (m.linkDeadNow(topo.LinkID{Node: node.ID, Port: port}) || m.nodeDeadNow(nextID)) {
 				// The branch is already known dead: fall back to unicast
@@ -414,7 +441,7 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 func (m *Machine) deliverLocal(pkt *packet.Packet, dst *Client, at sim.Time) {
 	model := &m.Model
 	service := model.ClientService(dst.Addr.Kind, pkt.WireBytes())
-	m.Sim.At(at, func() {
+	m.Sim.AtDomain(m.domain(dst.Addr.Node), at, func() {
 		if m.hard && m.nodeDeadNow(dst.Addr.Node) {
 			m.losePacket(pkt, dst.Addr, lossDstDead)
 			return

@@ -305,7 +305,7 @@ func (m *Machine) mcReroute(pkt *packet.Packet, node *Node, subtree topo.NodeID,
 // network choosing an egress port; atSource selects the injection-side
 // ring latency for the first hop (matching the static path's timing).
 func (m *Machine) forwardHard(pkt *packet.Packet, node *Node, ringAt sim.Time, atSource bool) {
-	m.Sim.At(ringAt, func() {
+	m.Sim.AtDomain(m.domain(node.ID), ringAt, func() {
 		model := &m.Model
 		if m.nodeDeadNow(node.ID) {
 			// The node died under a transiting packet.

@@ -120,8 +120,8 @@ func TestDeadSourceDeficit(t *testing.T) {
 	dst := slice0(0)
 	var fired sim.Time = -1
 	m.Client(dst).Wait(4, 2, func() { fired = m.Sim.Now() })
-	m.Client(slice0(1)).Write(dst, 4, 0, 8, 7)  // arrives
-	m.Client(slice0(5)).Write(dst, 4, 8, 8, 9)  // source is dead
+	m.Client(slice0(1)).Write(dst, 4, 0, 8, 7) // arrives
+	m.Client(slice0(5)).Write(dst, 4, 8, 8, 9) // source is dead
 	m.Sim.Run()
 	if fired < 0 {
 		t.Fatalf("wait depending on a dead source never completed: %v", m.Recovery())

@@ -107,8 +107,8 @@ func MapReduce[T any](workers, shards int, mapFn func(shard int) T, combine func
 	}
 	var (
 		mu      sync.Mutex
-		cond    = sync.NewCond(&mu)
-		results = make([]slot, shards)
+		cond          = sync.NewCond(&mu)
+		results       = make([]slot, shards)
 		next    int64 = 0 // next shard to hand out
 	)
 	var wg sync.WaitGroup

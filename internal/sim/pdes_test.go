@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pdesWorkload drives a kernel with a randomized but seeded event graph
+// shaped like the torus models: D spatial domains, cross-domain hand-offs
+// never closer than the lookahead, intra-domain work at arbitrary
+// sub-lookahead delays (including zero), bursts at shared instants, and
+// window-boundary timestamps (exact multiples of the lookahead, and one
+// tick either side). It returns the observed firing log.
+func pdesWorkload(s *Sim, domains int, lookahead Dur, seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var log []uint64
+	var id uint64
+	var spawn func(dom int, depth int)
+	spawn = func(dom int, depth int) {
+		id++
+		me := id
+		// Delays stress the window machinery: sub-lookahead intra-domain
+		// hops, exact window-boundary landings, and >lookahead jumps.
+		var d Dur
+		cross := false
+		switch rng.Intn(6) {
+		case 0:
+			d = 0 // same-instant chain
+		case 1:
+			d = Dur(rng.Int63n(int64(lookahead))) // inside the window
+		case 2:
+			d = lookahead // exactly one window out
+		case 3:
+			d = lookahead + Dur(rng.Intn(3)) - 1 // boundary +/- one tick
+		case 4:
+			d = lookahead + Dur(rng.Int63n(int64(lookahead)*3)) // far
+			cross = true
+		case 5:
+			d = lookahead * Dur(1+rng.Intn(4)) // multiple boundaries
+			cross = true
+		}
+		target := dom
+		if cross {
+			target = rng.Intn(domains)
+		}
+		fn := func() {
+			log = append(log, me)
+			if depth < 4 && rng.Intn(10) < 6 {
+				spawn(target, depth+1)
+			}
+			if depth < 2 && rng.Intn(10) < 3 {
+				spawn(target, depth+1)
+			}
+		}
+		if cross {
+			s.AfterDomain(target, d, fn)
+		} else {
+			s.After(d, fn)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.AtDomain(rng.Intn(domains), Time(rng.Int63n(int64(lookahead)*10)), func() {})
+		spawn(rng.Intn(domains), 0)
+	}
+	s.Run()
+	return log
+}
+
+// The PDES executor must commit exactly the sequential executor's event
+// order — that is the whole determinism contract — for any worker count,
+// any grain (goroutines forced on or off), and any domain count.
+func TestPDESEquivalentToSequential(t *testing.T) {
+	const lookahead = 40 * Ns
+	for _, domains := range []int{2, 7, 64} {
+		seq := New()
+		want := pdesWorkload(seq, domains, lookahead, 42, 200)
+		if len(want) < 200 {
+			t.Fatalf("domains=%d: only %d events fired", domains, len(want))
+		}
+		for _, workers := range []int{2, 4, 8} {
+			for _, grain := range []int{1, DefaultGrain} {
+				s := New()
+				s.SetGrain(grain)
+				s.Partition(domains, lookahead)
+				s.SetWorkers(workers)
+				got := pdesWorkload(s, domains, lookahead, 42, 200)
+				if len(got) != len(want) {
+					t.Fatalf("domains=%d workers=%d grain=%d: fired %d events, sequential fired %d",
+						domains, workers, grain, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("domains=%d workers=%d grain=%d: commit order diverged at event %d: got id %d, want %d",
+							domains, workers, grain, i, got[i], want[i])
+					}
+				}
+				if s.Fired() != seq.Fired() || s.Now() != seq.Now() {
+					t.Fatalf("domains=%d workers=%d grain=%d: fired/clock %d/%v, want %d/%v",
+						domains, workers, grain, s.Fired(), s.Now(), seq.Fired(), seq.Now())
+				}
+			}
+		}
+	}
+}
+
+// Same-instant events scheduled from different domains must fire in
+// scheduling (FIFO) order — the canonical tie-break — not in domain or
+// arrival order.
+func TestPDESSameInstantCrossDomain(t *testing.T) {
+	s := New()
+	s.SetGrain(1)
+	s.Partition(8, 10*Ns)
+	s.SetWorkers(4)
+	var got []int
+	at := Time(100 * Ns)
+	for i := 0; i < 32; i++ {
+		i := i
+		s.AtDomain(i%8, at, func() { got = append(got, i) })
+	}
+	// A pre-burst event scheduling three more at the burst instant from
+	// yet another domain: they must fire after the 32 already queued.
+	s.AtDomain(3, 5*Time(Ns), func() {
+		for j := 32; j < 35; j++ {
+			j := j
+			s.AtDomain(j%8, at, func() { got = append(got, j) })
+		}
+	})
+	s.Run()
+	if len(got) != 35 {
+		t.Fatalf("fired %d events, want 35", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired event %d: same-instant cross-domain events out of FIFO order (%v)", i, v, got)
+		}
+	}
+}
+
+// Events scheduled mid-window for inside the window (the overflow path)
+// must interleave with already-extracted batch events in timestamp order:
+// an event at t+1 scheduled while committing t runs before a batch event
+// at t+2.
+func TestPDESWindowOverflowOrdering(t *testing.T) {
+	s := New()
+	s.SetGrain(1)
+	s.Partition(4, 100*Ns)
+	s.SetWorkers(2)
+	var got []string
+	s.AtDomain(0, 10, func() {
+		got = append(got, "first")
+		// Lands inside the current window, between the two batch events.
+		s.After(5, func() { got = append(got, "overflow") })
+	})
+	s.AtDomain(1, 20, func() { got = append(got, "second") })
+	s.Run()
+	want := []string{"first", "overflow", "second"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// RunUntil under the PDES executor must match the sequential executor's
+// semantics exactly: inclusive deadline, clock advanced to the deadline
+// when events remain, clock left at the last event when drained.
+func TestPDESRunUntil(t *testing.T) {
+	build := func(parallel bool) (*Sim, *[]Time) {
+		s := New()
+		if parallel {
+			s.SetGrain(1)
+			s.Partition(4, 7*Ns)
+			s.SetWorkers(4)
+		}
+		var fired []Time
+		for _, at := range []Time{5, 25, 25, 60, 61, 200} {
+			at := at
+			s.AtDomain(int(at)%4, at*Time(Ns), func() { fired = append(fired, s.Now()) })
+		}
+		return s, &fired
+	}
+	seq, seqFired := build(false)
+	par, parFired := build(true)
+	for _, deadline := range []Time{25 * Time(Ns), 60 * Time(Ns), 199 * Time(Ns), 500 * Time(Ns)} {
+		a := seq.RunUntil(deadline)
+		b := par.RunUntil(deadline)
+		if a != b {
+			t.Fatalf("deadline %v: drained %v (parallel) vs %v (sequential)", deadline, b, a)
+		}
+		if seq.Now() != par.Now() {
+			t.Fatalf("deadline %v: clock %v (parallel) vs %v (sequential)", deadline, par.Now(), seq.Now())
+		}
+		if len(*seqFired) != len(*parFired) {
+			t.Fatalf("deadline %v: fired %d (parallel) vs %d (sequential)", deadline, len(*parFired), len(*seqFired))
+		}
+	}
+	for i := range *seqFired {
+		if (*seqFired)[i] != (*parFired)[i] {
+			t.Fatalf("firing times diverged at %d: %v vs %v", i, (*parFired)[i], (*seqFired)[i])
+		}
+	}
+}
+
+// Step must work on a partitioned simulator (the sequential debugging
+// path over domain queues) and interleave correctly with windowed Run.
+func TestPDESStepInterop(t *testing.T) {
+	s := New()
+	s.SetGrain(1)
+	s.Partition(4, 10*Ns)
+	s.SetWorkers(4)
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		s.AtDomain(i%4, Time(i)*Time(Ns), func() { got = append(got, i) })
+	}
+	if !s.Step() || !s.Step() {
+		t.Fatal("Step returned false with events pending")
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("Pending = %d after two steps, want 6", s.Pending())
+	}
+	s.Run()
+	if s.Step() {
+		t.Fatal("Step returned true on a drained simulator")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired event %d (%v)", i, v, got)
+		}
+	}
+}
+
+// Reconfiguring the decomposition or worker count mid-simulation must
+// migrate resident events without perturbing the canonical order.
+func TestPDESReconfigureMigration(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 12; i++ {
+		i := i
+		s.At(Time(i/3)*Time(10*Ns), func() { got = append(got, i) })
+	}
+	s.Partition(4, 10*Ns) // still sequential: workers=1
+	s.SetWorkers(4)       // engage: events migrate into domain queues
+	if s.Pending() != 12 {
+		t.Fatalf("Pending = %d after engage, want 12", s.Pending())
+	}
+	s.RunUntil(10 * Time(10*Ns) / 10)
+	s.SetWorkers(1) // disengage mid-run: events migrate back
+	if s.pd != nil {
+		t.Fatal("pd still engaged after SetWorkers(1)")
+	}
+	s.SetWorkers(6) // and forward again
+	s.Run()
+	if len(got) != 12 {
+		t.Fatalf("fired %d events, want 12", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired event %d: migration broke canonical order (%v)", i, v, got)
+		}
+	}
+}
+
+// The race-detector stress test: a large randomized workload with the
+// goroutine threshold forced to 1 so every window spawns workers, at
+// GOMAXPROCS parallelism. Run under -race (ci.sh does), any unsynchronized
+// sharing between the window workers and the commit goroutine is caught
+// here; the result is additionally checked against the sequential order.
+func TestPDESRaceStress(t *testing.T) {
+	const lookahead = 13 * Ns
+	seq := New()
+	want := pdesWorkload(seq, 32, lookahead, 7, 600)
+	s := New()
+	s.SetGrain(1)
+	s.Partition(32, lookahead)
+	s.SetWorkers(0) // GOMAXPROCS
+	got := pdesWorkload(s, 32, lookahead, 7, 600)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("commit order diverged at event %d under parallel extraction", i)
+		}
+	}
+}
+
+// Pending must count resident events across domain queues, inboxes and
+// the overflow heap.
+func TestPDESPending(t *testing.T) {
+	s := New()
+	s.SetGrain(1)
+	s.Partition(4, 10*Ns)
+	s.SetWorkers(2)
+	for i := 0; i < 10; i++ {
+		s.AtDomain(i%4, Time(i)*Time(Ns), func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", s.Pending())
+	}
+	if s.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10", s.Fired())
+	}
+}
+
+// A pinned Resource must keep its service events in its domain while
+// preserving FIFO service order and exact start times versus an unpinned
+// sequential run.
+func TestPDESResourceDomainPinned(t *testing.T) {
+	run := func(parallel bool) []Time {
+		s := New()
+		if parallel {
+			s.SetGrain(1)
+			s.Partition(2, 10*Ns)
+			s.SetWorkers(2)
+		}
+		r := NewResource(s).InDomain(1)
+		var starts []Time
+		for i := 0; i < 5; i++ {
+			s.AtDomain(0, Time(i)*Time(3*Ns), func() {
+				r.Acquire(7*Ns, func(start Time) { starts = append(starts, start) })
+			})
+		}
+		s.Run()
+		return starts
+	}
+	want := run(false)
+	got := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("got %d service starts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service start %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -14,11 +14,23 @@ type Resource struct {
 	// busy accumulates total occupied time, for utilization reporting.
 	busy Dur
 	uses uint64
+	// dom, when >= 0, pins every service-start event to that spatial
+	// domain for the PDES executor; -1 inherits the scheduling event's
+	// domain. Physical resources (a node's links and ports) are pinned to
+	// their node's domain so their event chains stay queue-local.
+	dom int32
 }
 
 // NewResource returns a resource attached to s.
 func NewResource(s *Sim) *Resource {
-	return &Resource{sim: s}
+	return &Resource{sim: s, dom: -1}
+}
+
+// InDomain pins the resource's events to spatial domain dom (see
+// Sim.AtDomain) and returns the resource for construction chaining.
+func (r *Resource) InDomain(dom int) *Resource {
+	r.dom = int32(dom)
+	return r
 }
 
 // Acquire schedules fn to run when the resource becomes free (no earlier
@@ -33,7 +45,11 @@ func (r *Resource) Acquire(service Dur, fn func(start Time)) Time {
 	r.busy += service
 	r.uses++
 	if fn != nil {
-		r.sim.At(start, func() { fn(start) })
+		if r.dom >= 0 {
+			r.sim.AtDomain(int(r.dom), start, func() { fn(start) })
+		} else {
+			r.sim.At(start, func() { fn(start) })
+		}
 	}
 	return start
 }

@@ -8,12 +8,22 @@
 // which they were scheduled (FIFO tie-break on a sequence number), which
 // makes the entire simulation deterministic without any further effort from
 // the models built on top of it.
+//
+// The kernel has two executors over the same canonical event order:
+//
+//   - The sequential executor (the default): one binary heap, one event at
+//     a time.
+//   - The parallel PDES executor (pdes.go): the event population is
+//     partitioned into spatial domains with one queue per domain, windows
+//     derived from the minimum inter-domain link latency are processed with
+//     the per-domain queue work spread over worker goroutines, and the
+//     window's events are committed in the same global (time, seq) order
+//     the sequential executor uses. Output is therefore bit-identical at
+//     any worker count. Partition selects the decomposition; SetWorkers
+//     selects the executor.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is an absolute simulation time in picoseconds.
 type Time int64
@@ -54,30 +64,80 @@ func (d Dur) String() string  { return fmt.Sprintf("%.3fns", d.Ns()) }
 // NsDur converts a nanosecond count to a Dur.
 func NsDur(ns float64) Dur { return Dur(ns * 1000) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. dom is the spatial domain the event
+// belongs to under the PDES decomposition; the sequential executor records
+// it but never reads it.
 type event struct {
 	at  Time
 	seq uint64
+	dom int32
 	fn  func()
 }
 
+// before is the canonical event order shared by both executors:
+// timestamp, then scheduling order (FIFO among same-instant events).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a binary min-heap over the canonical order. The methods are
+// hand-rolled rather than container/heap so pops do not box events into
+// interfaces — the queue is the kernel's hottest data structure.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(&s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure
+	*h = s[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s[l].before(&s[least]) {
+			least = l
+		}
+		if r < n && s[r].before(&s[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+}
+
+// init establishes the heap invariant over arbitrary contents in O(n).
+func (h *eventHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // Sim is a discrete-event simulator. The zero value is ready to use.
@@ -86,6 +146,22 @@ type Sim struct {
 	seq    uint64
 	events eventHeap
 	nfired uint64
+
+	// curDom is the domain of the event currently executing; events
+	// scheduled from inside an event inherit it, so a domain decomposition
+	// installed by Partition propagates through event chains without the
+	// models tagging every call site. Explicit cross-domain hand-offs use
+	// AtDomain.
+	curDom int32
+
+	// PDES configuration (pdes.go). pd is non-nil exactly when the
+	// parallel executor is engaged (Partition configured >1 domain and
+	// SetWorkers asked for >1 worker).
+	ndom     int
+	la       Dur
+	kworkers int
+	grain    int
+	pd       *pdes
 
 	// Faults is the attachment point for the deterministic
 	// fault-injection layer (internal/fault): fault.Attach stores its
@@ -115,16 +191,21 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Fired() uint64 { return s.nfired }
 
 // Pending returns the number of events not yet executed.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int {
+	if s.pd != nil {
+		return s.pd.count
+	}
+	return len(s.events)
+}
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a modelling bug rather than a recoverable condition.
+// At schedules fn to run at absolute time t in the current event's domain.
+// Scheduling in the past panics: it always indicates a modelling bug rather
+// than a recoverable condition.
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.schedule(s.curDom, t, fn)
 }
 
 // After schedules fn to run d after the current time.
@@ -135,20 +216,69 @@ func (s *Sim) After(d Dur, fn func()) {
 	s.At(s.now.Add(d), fn)
 }
 
+// AtDomain schedules fn at absolute time t in spatial domain dom. Models
+// call it where an event chain crosses from one domain's state to
+// another's — a packet leaving a node for its neighbour — so the PDES
+// executor can keep each domain's queue local. The domain tag never
+// affects results (the commit order is the canonical global one either
+// way); a wrong tag only costs queue locality.
+func (s *Sim) AtDomain(dom int, t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.schedule(int32(dom), t, fn)
+}
+
+// AfterDomain schedules fn to run d after the current time in domain dom.
+func (s *Sim) AfterDomain(dom int, d Dur, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.AtDomain(dom, s.now.Add(d), fn)
+}
+
+// schedule assigns the global sequence number — the deterministic FIFO
+// tie-break — and routes the event to the executor's queues. All
+// scheduling happens on the simulation goroutine (model code only runs
+// during event commit, which both executors serialize), so seq assignment
+// is identical whatever the worker count.
+func (s *Sim) schedule(dom int32, t Time, fn func()) {
+	s.seq++
+	e := event{at: t, seq: s.seq, dom: dom, fn: fn}
+	if p := s.pd; p != nil {
+		p.schedule(e)
+		return
+	}
+	s.events.push(e)
+}
+
 // Step executes the next event, if any, and reports whether one ran.
 func (s *Sim) Step() bool {
+	if s.pd != nil {
+		return s.pd.step(s)
+	}
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.events.pop()
+	s.exec(&e)
+	return true
+}
+
+// exec commits one event: clock advance, domain context, callback.
+func (s *Sim) exec(e *event) {
 	s.now = e.at
+	s.curDom = e.dom
 	s.nfired++
 	e.fn()
-	return true
 }
 
 // Run executes events until the queue is empty and returns the final time.
 func (s *Sim) Run() Time {
+	if s.pd != nil {
+		s.pd.run(s, 0, false)
+		return s.now
+	}
 	for s.Step() {
 	}
 	return s.now
@@ -158,6 +288,13 @@ func (s *Sim) Run() Time {
 // the queue drained before the deadline, false if events remain beyond it.
 // The clock is advanced to the deadline when events remain.
 func (s *Sim) RunUntil(deadline Time) bool {
+	if s.pd != nil {
+		if s.pd.run(s, deadline, true) {
+			return true
+		}
+		s.now = deadline
+		return false
+	}
 	for len(s.events) > 0 && s.events[0].at <= deadline {
 		s.Step()
 	}

@@ -198,7 +198,7 @@ func (t Torus) LinkOrder(l LinkID) int {
 		progress = size - 1 - progress
 	}
 	ring := int(t.ID(c.Set(d, 0)))
-	return ((int(d)*2+dirIdx)*t.Nodes() + ring) * (size + 1) + progress
+	return ((int(d)*2+dirIdx)*t.Nodes()+ring)*(size+1) + progress
 }
 
 // LayerRoute assigns a virtual-channel layer to each hop of route:
