@@ -75,6 +75,12 @@ stage "fuzz corpus (FuzzFaultPlanParse seeds)"
 # Runs the checked-in seed corpus as regular tests (no fuzzing time).
 go test -run FuzzFaultPlanParse ./internal/fault
 
+stage "fuzz corpus (FuzzPDESDifferential seeds, -race)"
+# The differential determinism fuzzer's seed corpus — random machine
+# workloads compared sequential vs PDES across a workers×grain grid —
+# replayed as regular tests under the race detector.
+go test -race -run FuzzPDESDifferential ./internal/sim
+
 stage "metrics suite"
 # The measured-latency observability layer: unit and property tests
 # (histogram merge associativity/commutativity, count conservation),
@@ -129,15 +135,18 @@ cmp "$tmpdir/md-full.out" "$tmpdir/md-cross.out"
 
 stage "PDES golden identity (workers 1 vs 8)"
 # The parallel event kernel must not change a byte of any experiment
-# report. Run the headline latency experiment plus both fault sweeps
-# through the real CLI sequentially and fully parallel, strip the
-# wall-clock footers ("[id completed in N.Ns]" — the only real-time
-# lines), and require identical bytes.
+# report or trace. Run the headline latency experiment, the metrics
+# observability experiment (capturing its chrome-trace export), and
+# both fault sweeps through the real CLI sequentially and fully
+# parallel, strip the wall-clock footers ("[id completed in N.Ns]" —
+# the only real-time lines), and require identical bytes.
 for w in 1 8; do
-	"$tmpdir/bin/antonbench" -quick -workers "$w" fig6 faultsweep killsweep |
+	"$tmpdir/bin/antonbench" -quick -workers "$w" \
+		-trace-out "$tmpdir/pdes-trace-$w.json" fig6 metrics faultsweep killsweep |
 		sed '/^\[.* completed in /d' >"$tmpdir/pdes-$w.out"
 done
 cmp "$tmpdir/pdes-1.out" "$tmpdir/pdes-8.out"
+cmp "$tmpdir/pdes-trace-1.json" "$tmpdir/pdes-trace-8.json"
 
 stage "PDES perf gate (BENCH_pdes.json)"
 # Time the kernel on the gate workloads at workers 1/4/8 and compare

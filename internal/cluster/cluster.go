@@ -97,6 +97,10 @@ const maxDomains = 64
 
 // New builds a cluster of n ranks.
 func New(s *sim.Sim, n int, m Model) *Cluster {
+	// The cluster model's handlers mutate shared tallies (drop counters,
+	// retransmit state) from arbitrary ranks, so it has not been audited
+	// for the stage-2 domain-confinement contract: veto it permanently.
+	s.SetConfined(false)
 	c := &Cluster{Sim: s, Model: m, N: n, faults: fault.FromSim(s), metrics: metrics.FromSim(s)}
 	c.ndom = n
 	if c.ndom > maxDomains {

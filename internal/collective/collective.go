@@ -175,9 +175,18 @@ func (ar *AllReduce) Result(n topo.NodeID) []float64 { return ar.partial[n] }
 // redundantly compute the new partial sum.
 func (ar *AllReduce) round(n topo.NodeID, d topo.Dim, done func(sim.Time)) {
 	m := ar.m
-	if ar.rec != nil && !ar.roundOpen[d] {
-		ar.roundOpen[d] = true
-		ar.roundStart[d] = m.Sim.Now()
+	ctx := m.Ctx(n)
+	if ar.rec != nil {
+		// roundOpen/roundStart are cross-node: the canonically first node
+		// entering the round opens the span, so resolve the race at the
+		// commit slot.
+		at := ctx.Now()
+		ctx.Defer(func() {
+			if !ar.roundOpen[d] {
+				ar.roundOpen[d] = true
+				ar.roundStart[d] = at
+			}
+		})
 	}
 	ringN := m.Torus.Size(d)
 	c := m.Torus.Coord(n)
@@ -209,12 +218,15 @@ func (ar *AllReduce) round(n topo.NodeID, d topo.Dim, done func(sim.Time)) {
 			}
 		}
 		cost := ar.cfg.RoundOverhead + sim.Dur(ar.cfg.Values*ringN)*ar.cfg.PerValueAdd
-		m.Sim.After(cost, func() {
+		ctx.After(cost, func() {
 			if ar.rec != nil {
-				ar.roundLeft[d]--
-				if ar.roundLeft[d] == 0 {
-					ar.rec.Span(fmt.Sprintf("all-reduce round %v", d), ar.roundStart[d], m.Sim.Now())
-				}
+				end := ctx.Now()
+				ctx.Defer(func() {
+					ar.roundLeft[d]--
+					if ar.roundLeft[d] == 0 {
+						ar.rec.Span(fmt.Sprintf("all-reduce round %v", d), ar.roundStart[d], end)
+					}
+				})
 			}
 			if d < topo.Z {
 				ar.round(n, d+1, done)
@@ -229,15 +241,20 @@ func (ar *AllReduce) round(n topo.NodeID, d topo.Dim, done func(sim.Time)) {
 // slices with local writes, completing the operation on this node.
 func (ar *AllReduce) share(n topo.NodeID, done func(sim.Time)) {
 	m := ar.m
+	ctx := m.Ctx(n)
 	src := m.Client(packet.Client{Node: n, Kind: packet.Slice2})
 	ctr := ar.cfg.CtrBase + 3
 	waiting := 3
 	for _, k := range []packet.ClientKind{packet.Slice0, packet.Slice1, packet.Slice3} {
 		dst := packet.Client{Node: n, Kind: k}
 		m.Client(dst).Wait(ctr, ar.gen, func() {
+			// All three waits live on node n, so `waiting` is
+			// domain-confined; done touches the caller's cross-node
+			// completion count and runs at the commit slot.
 			waiting--
 			if waiting == 0 {
-				done(m.Sim.Now())
+				at := ctx.Now()
+				ctx.Defer(func() { done(at) })
 			}
 		})
 		src.Write(dst, ctr, shareAddr(ar.cfg.Values), ar.cfg.Bytes, ar.partial[n]...)

@@ -215,6 +215,25 @@ type Injector struct {
 	// what makes replays bit-identical.
 	ctr   map[uint64]uint64
 	stats Stats
+
+	// pinned holds per-link-site draw indices and tallies, indexed by
+	// linkSite(node, port), allocated by PinLinks. A pinned site's state is
+	// touched only by its own node's events — which all belong to one PDES
+	// domain — so the stage-2 window executor can draw link faults from
+	// worker goroutines without sharing: each site is single-writer, draw
+	// order per site equals the canonical order (within-domain execution
+	// order is canonical), and the machine-wide totals are derived by
+	// summation in Stats. The map-based path remains for unpinned sites
+	// (direct unit tests, the cluster's rank streams).
+	pinned []linkSiteState
+}
+
+// linkSiteState is one directed link's pinned fault stream state.
+type linkSiteState struct {
+	link             Link
+	used             bool
+	corruptN, stallN uint64
+	counts           LinkCounts
 }
 
 // NewInjector returns an injector for plan. Plans should be validated
@@ -257,7 +276,36 @@ func (in *Injector) Plan() Plan {
 	return in.plan
 }
 
-// Stats returns a snapshot of the fault tallies.
+// PinLinks pre-pins the fault streams of every directed link of a
+// nodes-node machine (six ports per node), so link draws need no shared
+// map and are safe from stage-2 worker goroutines. Nil-receiver safe;
+// repinning with a smaller machine keeps the larger allocation.
+func (in *Injector) PinLinks(nodes int) {
+	if in == nil || nodes*6 <= len(in.pinned) {
+		return
+	}
+	grown := make([]linkSiteState, nodes*6)
+	copy(grown, in.pinned)
+	in.pinned = grown
+}
+
+// site returns the pinned state for link l, or nil when unpinned.
+func (in *Injector) site(l Link) *linkSiteState {
+	s := linkSite(l.Node, l.Port)
+	if s >= uint64(len(in.pinned)) {
+		return nil
+	}
+	ps := &in.pinned[s]
+	if !ps.used {
+		ps.used = true
+		ps.link = l
+	}
+	return ps
+}
+
+// Stats returns a snapshot of the fault tallies: the serial (map-based)
+// tallies plus every pinned link site, with machine-wide totals derived
+// by summation so they are identical at any worker count.
 func (in *Injector) Stats() Stats {
 	if in == nil {
 		return Stats{}
@@ -266,6 +314,23 @@ func (in *Injector) Stats() Stats {
 	st.Links = make(map[Link]LinkCounts, len(in.stats.Links))
 	for l, c := range in.stats.Links {
 		st.Links[l] = c
+	}
+	for i := range in.pinned {
+		ps := &in.pinned[i]
+		if !ps.used {
+			continue
+		}
+		c := st.Links[ps.link]
+		c.Corrupts += ps.counts.Corrupts
+		c.Stalls += ps.counts.Stalls
+		c.DownWaits += ps.counts.DownWaits
+		if c == (LinkCounts{}) {
+			continue
+		}
+		st.Links[ps.link] = c
+		st.Corrupts += ps.counts.Corrupts
+		st.Stalls += ps.counts.Stalls
+		st.DownWaits += ps.counts.DownWaits
 	}
 	return st
 }
@@ -313,6 +378,16 @@ func (in *Injector) bern(kind, site, threshold uint64) bool {
 	return mix(in.plan.Seed, key, n)>>11 < threshold
 }
 
+// bernAt draws the Bernoulli decision at draw index *n on stream
+// (kind, site) and advances the index. Identical to bern for the same
+// index sequence; the caller owns the index storage (a pinned site).
+func (in *Injector) bernAt(kind, site uint64, n *uint64, threshold uint64) bool {
+	key := streamKey(kind, site)
+	v := *n
+	*n = v + 1
+	return mix(in.plan.Seed, key, v)>>11 < threshold
+}
+
 func linkSite(node int, port topo.Port) uint64 {
 	return uint64(node)*6 + uint64(topo.PortIndex(port))
 }
@@ -339,8 +414,38 @@ func (in *Injector) LinkExtra(node int, port topo.Port, service sim.Dur, start s
 	if in == nil {
 		return 0
 	}
-	var extra sim.Dur
 	l := Link{Node: node, Port: port}
+	if ps := in.site(l); ps != nil {
+		// Pinned path: single-writer per site, stage-2 safe.
+		var extra sim.Dur
+		if (in.stallT > 0 || in.corruptT > 0) && in.linkEligible(l) {
+			site := linkSite(node, port)
+			if in.stallT > 0 && in.bernAt(streamStall, site, &ps.stallN, in.stallT) {
+				extra += in.plan.StallDur
+				ps.counts.Stalls++
+			}
+			if in.corruptT > 0 {
+				retries := uint64(0)
+				for retries < maxRetries && in.bernAt(streamCorrupt, site, &ps.corruptN, in.corruptT) {
+					retries++
+				}
+				if retries > 0 {
+					extra += sim.Dur(retries) * (in.plan.RetryLatency + service)
+					ps.counts.Corrupts += retries
+				}
+			}
+		}
+		for _, w := range in.plan.Down {
+			if w.Link == l && start >= w.From && start < w.Until {
+				// The transfer fails until the link recovers; the
+				// retransmission after recovery pays one retry turnaround.
+				extra += w.Until.Sub(start) + in.plan.RetryLatency
+				ps.counts.DownWaits++
+			}
+		}
+		return extra
+	}
+	var extra sim.Dur
 	c := in.stats.Links[l]
 	touched := false
 	if (in.stallT > 0 || in.corruptT > 0) && in.linkEligible(l) {
@@ -366,8 +471,6 @@ func (in *Injector) LinkExtra(node int, port topo.Port, service sim.Dur, start s
 	}
 	for _, w := range in.plan.Down {
 		if w.Link == l && start >= w.From && start < w.Until {
-			// The transfer fails until the link recovers; the
-			// retransmission after recovery pays one retry turnaround.
 			extra += w.Until.Sub(start) + in.plan.RetryLatency
 			in.stats.DownWaits++
 			c.DownWaits++

@@ -6,13 +6,15 @@ import "testing"
 // event kernel at the report level: the rendered experiment reports
 // must be byte-identical between the sequential kernel and the
 // partitioned executor at any worker count. fig6 runs one 512-node
-// simulator (64 domains — pure single-simulation parallelism), while
-// the fault sweeps layer the kernel under the sweep pool, the fault
-// injector, and watchdog recovery.
+// simulator (64 domains — pure single-simulation parallelism), metrics
+// layers the full latency-recorder pipeline (sharded histograms,
+// lifecycle traces) on top of it, while the fault sweeps layer the
+// kernel under the sweep pool, the fault injector, and watchdog
+// recovery.
 func TestPDESGoldenIdentity(t *testing.T) {
-	ids := []string{"fig6", "faultsweep", "killsweep"}
+	ids := []string{"fig6", "metrics", "faultsweep", "killsweep"}
 	if testing.Short() {
-		ids = ids[:2]
+		ids = ids[:3]
 	}
 	defer SetWorkers(Workers())
 	for _, id := range ids {

@@ -97,7 +97,10 @@ func (c *Client) counter(ctr packet.CounterID) *sim.Counter {
 	}
 	cnt, ok := c.counters[ctr]
 	if !ok {
-		cnt = sim.NewCounter(c.m.Sim)
+		// Counters are domain-confined state: their wake events are pinned
+		// to the owning node's domain so the stage-2 executor can run Inc
+		// and Wait from the domain's worker goroutine.
+		cnt = sim.NewCounter(c.m.Sim).InDomain(c.m.domain(c.Addr.Node))
 		c.counters[ctr] = cnt
 	}
 	return cnt
@@ -128,9 +131,12 @@ func (c *Client) armed(ctr packet.CounterID, target uint64, fn func()) func() {
 	if rec == nil {
 		return fn
 	}
-	rec.CountArm(c.Addr, ctr, target, c.m.Sim.Now())
+	ctx := c.m.Ctx(c.Addr.Node)
+	at := ctx.Now()
+	ctx.Defer(func() { rec.CountArm(c.Addr, ctr, target, at) })
 	return func() {
-		rec.CountFire(c.Addr, ctr, target, c.m.Sim.Now())
+		fire := ctx.Now()
+		ctx.Defer(func() { rec.CountFire(c.Addr, ctr, target, fire) })
 		fn()
 	}
 }
@@ -217,18 +223,22 @@ func (f *FIFO) Pop(fn func(*packet.Packet)) {
 		pkt := f.queue[0]
 		f.queue = f.queue[1:]
 		f.admitBlocked()
-		f.m.Sim.After(f.m.Model.FIFOPoll, func() { fn(pkt) })
+		f.ctx().After(f.m.Model.FIFOPoll, func() { fn(pkt) })
 		return
 	}
 	f.waiter = fn
 }
+
+// ctx returns the owning slice's domain context: FIFO state is
+// domain-confined, and its poll wake-ups stay in the owner's domain.
+func (f *FIFO) ctx() sim.Ctx { return f.m.Ctx(f.owner.Addr.Node) }
 
 func (f *FIFO) deliver(pkt *packet.Packet) {
 	f.delivered++
 	if f.waiter != nil {
 		fn := f.waiter
 		f.waiter = nil
-		f.m.Sim.After(f.m.Model.FIFOPoll, func() { fn(pkt) })
+		f.ctx().After(f.m.Model.FIFOPoll, func() { fn(pkt) })
 		return
 	}
 	if len(f.queue) >= f.m.Model.FIFOCapacity {

@@ -32,11 +32,20 @@ type Machine struct {
 
 	nodes []*Node
 
-	// ord implements the software-controlled header flag that selectively
-	// guarantees in-order delivery between fixed source-destination pairs:
-	// flagged packets commit strictly in send order per pair, whatever
-	// their sizes or routes.
-	ord     map[pairKey]*ordState
+	// ordIssue and ordDst implement the software-controlled header flag
+	// that selectively guarantees in-order delivery between fixed
+	// source-destination pairs: flagged packets commit strictly in send
+	// order per pair, whatever their sizes or routes. The ledger is
+	// sharded by spatial domain so stage-2 window execution keeps it
+	// single-writer: tickets are drawn from the source node's domain
+	// shard at send time (program order) and carried inside the packet,
+	// and the per-pair commit ledgers live in the destination node's
+	// domain shard.
+	ordIssue []map[pairKey]uint64
+	ordDst   []map[pairKey]*ordDst
+	// sendSeq is the canonical global send sequence. It is canonical
+	// state: assignments happen in deferred actions (sim.Ctx.Defer), so
+	// they run serially at the merge point in canonical event order.
 	sendSeq uint64
 
 	// OnDeliver, if non-nil, is invoked at the simulated instant a packet
@@ -90,15 +99,15 @@ type pairKey struct {
 	src, dst packet.Client
 }
 
-// ordState is the per-pair in-order bookkeeping: tickets are issued in
-// send order; a flagged packet commits only after every earlier flagged
-// packet on the same pair has committed.
-type ordState struct {
-	idx       map[uint64]int // packet Seq -> ticket
-	issued    int
-	committed int
+// ordDst is the destination-side in-order ledger of one (src, dst) pair:
+// a flagged packet carries the ticket drawn at send time, and its commit
+// runs only after every earlier ticket on the pair has committed, never
+// earlier than its own availability instant and never earlier than the
+// previous commit on the pair.
+type ordDst struct {
+	committed uint64
 	lastAt    sim.Time
-	pending   map[int]ordPending
+	pending   map[uint64]ordPending
 }
 
 type ordPending struct {
@@ -106,33 +115,43 @@ type ordPending struct {
 	fn    func()
 }
 
-func (m *Machine) ordStateFor(key pairKey) *ordState {
-	st, ok := m.ord[key]
-	if !ok {
-		st = &ordState{idx: make(map[uint64]int), pending: make(map[int]ordPending)}
-		m.ord[key] = st
-	}
-	return st
+// ticket draws the next in-order ticket for (pkt.Src, dst) from the source
+// node's domain shard. Tickets are issued at send-call time, so per-pair
+// program order is preserved; issuing from worker context is deterministic
+// because within-domain execution order equals the canonical order.
+func (m *Machine) ticket(pkt *packet.Packet, dst packet.Client) uint64 {
+	shard := m.ordIssue[m.domain(pkt.Src.Node)]
+	key := pairKey{pkt.Src, dst}
+	t := shard[key]
+	shard[key] = t + 1
+	return t
 }
 
-// ticket registers pkt (already carrying its send Seq) for in-order
-// delivery to dst.
-func (m *Machine) ticket(pkt *packet.Packet, dst packet.Client) {
-	st := m.ordStateFor(pairKey{pkt.Src, dst})
-	st.idx[pkt.Seq] = st.issued
-	st.issued++
+// ticketOf returns the ticket pkt carries for destination dst.
+func ticketOf(pkt *packet.Packet, dst packet.Client) uint64 {
+	if pkt.Multicast == packet.NoMulticast {
+		return pkt.Ticket
+	}
+	for i := range pkt.Tickets {
+		if pkt.Tickets[i].Dst == dst {
+			return pkt.Tickets[i].Ticket
+		}
+	}
+	panic("machine: in-order packet without a ticket")
 }
 
 // commitInOrder schedules fn no earlier than avail and no earlier than
-// every previously sent in-order packet's commit on the same pair.
-func (m *Machine) commitInOrder(pkt *packet.Packet, dst packet.Client, avail sim.Time, fn func()) {
-	st := m.ordStateFor(pairKey{pkt.Src, dst})
-	ticket, ok := st.idx[pkt.Seq]
+// every previously sent in-order packet's commit on the same pair. ctx is
+// the destination domain's context — the caller is executing in it.
+func (m *Machine) commitInOrder(ctx sim.Ctx, pkt *packet.Packet, dst packet.Client, avail sim.Time, fn func()) {
+	shard := m.ordDst[m.domain(dst.Node)]
+	key := pairKey{pkt.Src, dst}
+	st, ok := shard[key]
 	if !ok {
-		panic("machine: in-order packet without a ticket")
+		st = &ordDst{pending: make(map[uint64]ordPending)}
+		shard[key] = st
 	}
-	delete(st.idx, pkt.Seq)
-	st.pending[ticket] = ordPending{avail: avail, fn: fn}
+	st.pending[ticketOf(pkt, dst)] = ordPending{avail: avail, fn: fn}
 	for {
 		p, ready := st.pending[st.committed]
 		if !ready {
@@ -144,11 +163,11 @@ func (m *Machine) commitInOrder(pkt *packet.Packet, dst packet.Client, avail sim
 		if at < st.lastAt {
 			at = st.lastAt
 		}
-		if now := m.Sim.Now(); at < now {
+		if now := ctx.Now(); at < now {
 			at = now
 		}
 		st.lastAt = at
-		m.Sim.AtDomain(m.domain(dst.Node), at, p.fn)
+		ctx.At(at, p.fn)
 	}
 }
 
@@ -171,7 +190,6 @@ func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 		Sim:     s,
 		Torus:   t,
 		Model:   model,
-		ord:     make(map[pairKey]*ordState),
 		faults:  fault.FromSim(s),
 		metrics: metrics.FromSim(s),
 	}
@@ -180,6 +198,16 @@ func New(s *sim.Sim, t topo.Torus, model noc.Model) *Machine {
 		m.ndom = maxDomains
 	}
 	s.Partition(m.ndom, model.Lookahead())
+	m.ordIssue = make([]map[pairKey]uint64, m.ndom)
+	m.ordDst = make([]map[pairKey]*ordDst, m.ndom)
+	for d := 0; d < m.ndom; d++ {
+		m.ordIssue[d] = make(map[pairKey]uint64)
+		m.ordDst[d] = make(map[pairKey]*ordDst)
+	}
+	// Pre-size the per-node statistics and pin the fault injector's link
+	// streams, so neither ever grows shared storage from worker context.
+	m.stats.perNode = make([]nodeStats, t.Nodes())
+	m.faults.PinLinks(t.Nodes())
 	m.nodes = make([]*Node, t.Nodes())
 	for id := range m.nodes {
 		n := &Node{
@@ -217,6 +245,19 @@ func (m *Machine) domain(n topo.NodeID) int {
 	return int(n) * m.ndom / len(m.nodes)
 }
 
+// Ctx returns the scheduling context of node n's spatial domain. The
+// model layers built on the machine (mdmap, collective, fft) use it to
+// keep their event chains domain-confined under the stage-2 executor;
+// see sim.Ctx for the confinement contract.
+func (m *Machine) Ctx(n topo.NodeID) sim.Ctx { return m.Sim.Ctx(m.domain(n)) }
+
+// Defer runs fn at the calling event's canonical commit slot from node
+// n's domain (sim.Ctx.Defer): immediately under the sequential executor,
+// at the window merge point — serially, in canonical order — under the
+// stage-2 executor. Cross-node and machine-global effects of confined
+// handlers go through it.
+func (m *Machine) Defer(n topo.NodeID, fn func()) { m.Ctx(n).Defer(fn) }
+
 // Node returns the node with the given ID.
 func (m *Machine) Node(id topo.NodeID) *Node { return m.nodes[id] }
 
@@ -228,8 +269,21 @@ func (m *Machine) Client(c packet.Client) *Client {
 	return m.nodes[c.Node].clients[c.Kind]
 }
 
-// Stats returns a snapshot of the machine's traffic statistics.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the machine's traffic statistics. Counts
+// are kept per node (single-writer under the stage-2 executor) and the
+// machine-wide totals are derived by summation, so a snapshot taken at
+// quiescence is identical at any worker count.
+func (m *Machine) Stats() Stats {
+	st := Stats{perNode: append([]nodeStats(nil), m.stats.perNode...)}
+	for i := range st.perNode {
+		ns := &st.perNode[i]
+		st.Sent += ns.Sent
+		st.Received += ns.Received
+		st.SentBytes += ns.SentBytes
+		st.RecvBytes += ns.RecvBytes
+	}
+	return st
+}
 
 // Faults returns the fault injector driving this machine, or nil.
 func (m *Machine) Faults() *fault.Injector { return m.faults }
@@ -239,10 +293,11 @@ func (m *Machine) Metrics() *metrics.Recorder { return m.metrics }
 
 // nextStart predicts the service-start time Resource.Acquire will use
 // for the next acquisition of r: the fault layer needs it to decide
-// whether a traversal falls inside a scheduled link outage.
-func nextStart(s *sim.Sim, r *sim.Resource) sim.Time {
+// whether a traversal falls inside a scheduled link outage. now is the
+// calling handler's (domain) clock.
+func nextStart(now sim.Time, r *sim.Resource) sim.Time {
 	start := r.FreeAt()
-	if now := s.Now(); start < now {
+	if start < now {
 		start = now
 	}
 	return start
@@ -250,7 +305,7 @@ func nextStart(s *sim.Sim, r *sim.Resource) sim.Time {
 
 // ResetStats zeroes the traffic statistics (link busy-time accumulators in
 // the resources are not reset).
-func (m *Machine) ResetStats() { m.stats = Stats{perNode: m.stats.perNode}; m.stats.reset() }
+func (m *Machine) ResetStats() { m.stats.reset() }
 
 // SetMulticast installs multicast pattern id in node n's lookup table.
 // Patterns must be installed on every node a multicast packet can visit;
@@ -265,23 +320,26 @@ func (m *Machine) LinkBusy(n topo.NodeID, p topo.Port) sim.Dur {
 	return m.nodes[n].links[topo.PortIndex(p)].BusyTime()
 }
 
-// send is the injection path shared by the Client send helpers.
+// send is the injection path shared by the Client send helpers. The
+// caller must be executing in the source node's domain (or in
+// coordinator/serial context), per the confinement contract.
 func (m *Machine) send(src *Client, pkt *packet.Packet) {
 	if err := pkt.Validate(); err != nil {
 		panic(fmt.Sprintf("machine: %v", err))
 	}
 	pkt.Src = src.Addr
-	m.sendSeq++
-	pkt.Seq = m.sendSeq
 	if pkt.InOrder {
-		// Issue per-destination tickets in program order; multicast
-		// destinations are resolved by walking the installed tables.
+		// Issue per-destination tickets in program order and carry them in
+		// the packet; multicast destinations are resolved by walking the
+		// installed tables (deterministic BFS order).
 		if pkt.Multicast != packet.NoMulticast {
-			for _, dst := range m.resolveMulticast(src.Addr.Node, pkt.Multicast) {
-				m.ticket(pkt, dst)
+			dsts := m.resolveMulticast(src.Addr.Node, pkt.Multicast)
+			pkt.Tickets = make([]packet.DstTicket, len(dsts))
+			for i, dst := range dsts {
+				pkt.Tickets[i] = packet.DstTicket{Dst: dst, Ticket: m.ticket(pkt, dst)}
 			}
 		} else {
-			m.ticket(pkt, pkt.Dst)
+			pkt.Ticket = m.ticket(pkt, pkt.Dst)
 		}
 	}
 	model := &m.Model
@@ -290,6 +348,7 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 	// Clock-skewed (slow) nodes pay proportionally more to assemble and
 	// inject a packet.
 	lat += m.faults.NodeSlowExtra(int(src.Addr.Node), lat)
+	ctx := m.Ctx(src.Addr.Node)
 	src.send.Acquire(gap, func(start sim.Time) {
 		if m.hard && m.nodeDeadNow(src.Addr.Node) {
 			// A dead node's software halts: nothing reaches the wire, and
@@ -298,20 +357,30 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 			m.loseSend(pkt, src.Addr)
 			return
 		}
-		if m.OnSend != nil {
-			m.OnSend(pkt, start)
-		}
+		// The canonical send sequence is assigned at the event's commit
+		// slot, as its first deferred action, so every later deferred
+		// reader of pkt.Seq (metrics, hooks, fan-out copies) observes the
+		// canonical number whatever the worker count.
+		ctx.Defer(func() {
+			m.sendSeq++
+			pkt.Seq = m.sendSeq
+			if m.OnSend != nil {
+				m.OnSend(pkt, start)
+			}
+		})
 		m.stats.send(src.Addr.Node, pkt.WireBytes())
 		inject := start.Add(lat)
-		m.metrics.PacketSend(pkt.Seq, src.Addr, start, inject)
+		if m.metrics != nil {
+			ctx.Defer(func() { m.metrics.PacketSend(pkt.Seq, src.Addr, start, inject) })
+		}
 		node := m.nodes[src.Addr.Node]
 		if pkt.Multicast != packet.NoMulticast {
-			m.multicastAt(pkt, node, inject, true)
+			m.multicastAt(ctx, pkt, node, inject, true)
 			return
 		}
 		if pkt.Dst.Node == src.Addr.Node {
 			// Node-local delivery travels the on-chip ring only.
-			m.deliverLocal(pkt, node.clients[pkt.Dst.Kind], inject.Add(model.LocalRing))
+			m.deliverLocal(ctx, pkt, node.clients[pkt.Dst.Kind], inject.Add(model.LocalRing))
 			return
 		}
 		if m.hard {
@@ -319,42 +388,54 @@ func (m *Machine) send(src *Client, pkt *packet.Packet) {
 			return
 		}
 		route := m.Torus.Route(node.Coord, m.Torus.Coord(pkt.Dst.Node))
-		m.forward(pkt, node, route, 0, inject.Add(model.SrcRing))
+		m.forward(ctx, pkt, node, route, 0, inject.Add(model.SrcRing))
 	})
 }
 
 // forward transmits pkt across route[step:]; head is the time the packet
 // header reaches the egress side of node's on-chip network for this hop.
-func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, step int, head sim.Time) {
+// ctx is the calling handler's executing domain context — the hop itself
+// may belong to a different (neighbouring) domain.
+func (m *Machine) forward(ctx sim.Ctx, pkt *packet.Packet, node *Node, route []topo.Step, step int, head sim.Time) {
 	model := &m.Model
 	hop := route[step]
 	link := node.links[topo.PortIndex(hop.Port)]
+	hctx := m.Ctx(node.ID)
 	// The hop's events belong to the egress node's domain; scheduling it
 	// from the previous node's arrival event is the cross-domain hand-off
 	// the link-adapter lookahead makes window-safe.
-	m.Sim.AtDomain(m.domain(node.ID), head, func() {
+	ctx.AtDomain(m.domain(node.ID), head, func() {
 		service := model.LinkService(pkt.WireBytes())
 		// Fault layer: CRC-detected flit corruption repaired by
 		// link-level retransmission, transient stalls, and scheduled
 		// outages all extend both the link occupancy and the arrival.
-		extra := m.faults.LinkExtra(int(node.ID), hop.Port, service, nextStart(m.Sim, link))
-		m.metrics.HopDepart(pkt.Seq, node.ID, hop.Port, m.Sim.Now())
+		extra := m.faults.LinkExtra(int(node.ID), hop.Port, service, nextStart(hctx.Now(), link))
+		if m.metrics != nil {
+			now := hctx.Now()
+			hctx.Defer(func() { m.metrics.HopDepart(pkt.Seq, node.ID, hop.Port, now) })
+		}
 		link.Acquire(service+extra, func(start sim.Time) {
 			if m.OnLink != nil {
-				m.OnLink(node.ID, hop.Port, start, service+extra)
+				hctx.Defer(func() { m.OnLink(node.ID, hop.Port, start, service+extra) })
 			}
-			m.metrics.LinkTransfer(pkt.Seq, node.ID, hop.Port, start, service+extra,
-				pkt.WireBytes(), start.Sub(head))
+			if m.metrics != nil {
+				hctx.Defer(func() {
+					m.metrics.LinkTransfer(pkt.Seq, node.ID, hop.Port, start, service+extra,
+						pkt.WireBytes(), start.Sub(head))
+				})
+			}
 			arrival := start.Add(extra).Add(model.AdapterPair[hop.Port.Dim])
 			next := m.nodes[m.Torus.ID(hop.To)]
-			m.metrics.HopArrive(pkt.Seq, next.ID, arrival)
+			if m.metrics != nil {
+				hctx.Defer(func() { m.metrics.HopArrive(pkt.Seq, next.ID, arrival) })
+			}
 			if step == len(route)-1 {
 				avail := arrival.Add(model.ExtraSerialization(pkt.WireBytes()) + model.DstRing)
-				m.deliverLocal(pkt, next.clients[pkt.Dst.Kind], avail)
+				m.deliverLocal(hctx, pkt, next.clients[pkt.Dst.Kind], avail)
 				return
 			}
 			nextDim := route[step+1].Port.Dim
-			m.forward(pkt, next, route, step+1, arrival.Add(model.Through[nextDim]))
+			m.forward(hctx, pkt, next, route, step+1, arrival.Add(model.Through[nextDim]))
 		})
 	})
 }
@@ -363,7 +444,7 @@ func (m *Machine) forward(pkt *packet.Packet, node *Node, route []topo.Step, ste
 // packet out to local clients and outgoing links. atSource distinguishes
 // the injecting node (ring traversal from the sending client) from transit
 // nodes (ring traversal from the arriving link adapter).
-func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atSource bool) {
+func (m *Machine) multicastAt(ctx sim.Ctx, pkt *packet.Packet, node *Node, base sim.Time, atSource bool) {
 	model := &m.Model
 	if m.hard && m.nodeDeadNow(node.ID) {
 		// The fan-out node died under the packet: the whole remaining
@@ -383,10 +464,15 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 			avail = base.Add(model.ExtraSerialization(pkt.WireBytes()) + model.DstRing)
 		}
 		// Each delivery is a distinct logical packet so that counters,
-		// stats and hooks see per-destination events.
-		cp := *pkt
+		// stats and hooks see per-destination events. The copy's canonical
+		// sequence number is stamped at the commit slot: the injection's
+		// own deferred assignment replays first (parents precede children),
+		// so pkt.Seq is resolved by then.
+		cp := new(packet.Packet)
+		*cp = *pkt
 		cp.Dst = packet.Client{Node: node.ID, Kind: kind}
-		m.deliverLocal(&cp, node.clients[kind], avail)
+		ctx.Defer(func() { cp.Seq = pkt.Seq })
+		m.deliverLocal(ctx, cp, node.clients[kind], avail)
 	}
 	for _, port := range entry.Out {
 		var head sim.Time
@@ -397,7 +483,8 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 		}
 		port := port
 		link := node.links[topo.PortIndex(port)]
-		m.Sim.AtDomain(m.domain(node.ID), head, func() {
+		nctx := m.Ctx(node.ID)
+		ctx.AtDomain(m.domain(node.ID), head, func() {
 			nextID := m.Torus.ID(m.Torus.Neighbor(node.Coord, port))
 			if m.hard && (m.linkDeadNow(topo.LinkID{Node: node.ID, Port: port}) || m.nodeDeadNow(nextID)) {
 				// The branch is already known dead: fall back to unicast
@@ -408,8 +495,11 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 				return
 			}
 			service := model.LinkService(pkt.WireBytes())
-			extra := m.faults.LinkExtra(int(node.ID), port, service, nextStart(m.Sim, link))
-			m.metrics.HopDepart(pkt.Seq, node.ID, port, m.Sim.Now())
+			extra := m.faults.LinkExtra(int(node.ID), port, service, nextStart(nctx.Now(), link))
+			if m.metrics != nil {
+				now := nctx.Now()
+				nctx.Defer(func() { m.metrics.HopDepart(pkt.Seq, node.ID, port, now) })
+			}
 			link.Acquire(service+extra, func(start sim.Time) {
 				arrival := start.Add(extra).Add(model.AdapterPair[port.Dim])
 				next := m.nodes[m.Torus.ID(m.Torus.Neighbor(node.Coord, port))]
@@ -424,12 +514,16 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 					}
 				}
 				if m.OnLink != nil {
-					m.OnLink(node.ID, port, start, service+extra)
+					nctx.Defer(func() { m.OnLink(node.ID, port, start, service+extra) })
 				}
-				m.metrics.LinkTransfer(pkt.Seq, node.ID, port, start, service+extra,
-					pkt.WireBytes(), start.Sub(head))
-				m.metrics.HopArrive(pkt.Seq, next.ID, arrival)
-				m.multicastAt(pkt, next, arrival, false)
+				if m.metrics != nil {
+					nctx.Defer(func() {
+						m.metrics.LinkTransfer(pkt.Seq, node.ID, port, start, service+extra,
+							pkt.WireBytes(), start.Sub(head))
+						m.metrics.HopArrive(pkt.Seq, next.ID, arrival)
+					})
+				}
+				m.multicastAt(nctx, pkt, next, arrival, false)
 			})
 		})
 	}
@@ -437,25 +531,29 @@ func (m *Machine) multicastAt(pkt *packet.Packet, node *Node, base sim.Time, atS
 
 // deliverLocal schedules the final delivery of pkt into client dst: the
 // receive-port occupancy, memory/FIFO update, counter increment, and the
-// availability instant software observes.
-func (m *Machine) deliverLocal(pkt *packet.Packet, dst *Client, at sim.Time) {
+// availability instant software observes. ctx is the calling handler's
+// executing domain context; the delivery events run in dst's domain.
+func (m *Machine) deliverLocal(ctx sim.Ctx, pkt *packet.Packet, dst *Client, at sim.Time) {
 	model := &m.Model
 	service := model.ClientService(dst.Addr.Kind, pkt.WireBytes())
-	m.Sim.AtDomain(m.domain(dst.Addr.Node), at, func() {
+	dctx := m.Ctx(dst.Addr.Node)
+	ctx.AtDomain(m.domain(dst.Addr.Node), at, func() {
 		if m.hard && m.nodeDeadNow(dst.Addr.Node) {
 			m.losePacket(pkt, dst.Addr, lossDstDead)
 			return
 		}
 		dst.recv.Acquire(service, func(start sim.Time) {
-			m.metrics.DeliverStart(pkt.Seq, dst.Addr, start)
+			if m.metrics != nil {
+				dctx.Defer(func() { m.metrics.DeliverStart(pkt.Seq, dst.Addr, start) })
+			}
 			lat := model.DeliverLatency(dst.Addr.Kind)
 			lat += m.faults.NodeSlowExtra(int(dst.Addr.Node), lat)
 			avail := start.Add(lat)
 			if pkt.InOrder {
-				m.commitInOrder(pkt, dst.Addr, avail, func() { m.commit(pkt, dst) })
+				m.commitInOrder(dctx, pkt, dst.Addr, avail, func() { m.commit(pkt, dst) })
 				return
 			}
-			m.Sim.At(avail, func() { m.commit(pkt, dst) })
+			dctx.At(avail, func() { m.commit(pkt, dst) })
 		})
 	})
 }
@@ -507,8 +605,12 @@ func (m *Machine) commit(pkt *packet.Packet, dst *Client) {
 		dst.fifo.deliver(pkt)
 	}
 	m.stats.recv(dst.Addr.Node, pkt.WireBytes())
-	m.metrics.Deliver(pkt.Seq, dst.Addr, m.Sim.Now())
+	dctx := m.Ctx(dst.Addr.Node)
+	now := dctx.Now()
+	if m.metrics != nil {
+		dctx.Defer(func() { m.metrics.Deliver(pkt.Seq, dst.Addr, now) })
+	}
 	if m.OnDeliver != nil {
-		m.OnDeliver(pkt, dst.Addr, m.Sim.Now())
+		dctx.Defer(func() { m.OnDeliver(pkt, dst.Addr, now) })
 	}
 }

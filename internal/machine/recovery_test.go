@@ -1,6 +1,9 @@
 package machine
 
 import (
+	"fmt"
+	"math/rand"
+	"strings"
 	"testing"
 
 	"anton/internal/fault"
@@ -252,5 +255,156 @@ func TestOutOfRangeKillsIgnored(t *testing.T) {
 	}
 	if rec := m.Recovery(); rec.Lost != 0 || rec.WatchdogFires != 0 {
 		t.Fatalf("out-of-range kills perturbed the machine: %v", rec)
+	}
+}
+
+// TestRecoveryUnderPDESStress is the machine half of the 600-run race
+// battery (the kernel half is internal/sim's TestPDESReconfigureStress):
+// each seed derives a torus, a fault-plan class — none, soft
+// corruption+stalls, a scheduled outage, a killed link, or a killed
+// node — a spray of counted writes with registered waits sized to the
+// exactly reachable targets, a RunUntil schedule whose stops land while
+// traffic (and, for kill classes, watchdog recovery) is mid-window, and
+// a worker-count flip at every stop. The full trajectory — canonical
+// send stream, delivery log, wait completions, recovery tally, final
+// clock — must match the all-sequential run of the same schedule. Kill
+// classes veto confinement, so the battery sweeps both the stage-2
+// executor and the stage-1 fallback; ci.sh runs it under the race
+// detector.
+func TestRecoveryUnderPDESStress(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 40
+	}
+	shapes := [][3]int{{2, 2, 2}, {4, 2, 2}, {4, 4, 2}, {4, 4, 4}}
+
+	type ctrKey struct {
+		c   packet.Client
+		ctr packet.CounterID
+	}
+
+	run := func(seed int64, workerPlan []int) (string, uint64, RecoveryStats) {
+		rng := rand.New(rand.NewSource(seed))
+		shape := shapes[rng.Intn(len(shapes))]
+		tor := topo.NewTorus(shape[0], shape[1], shape[2])
+		nodes := tor.Nodes()
+
+		plan := fault.Plan{Seed: uint64(seed)}
+		switch rng.Intn(5) {
+		case 0:
+			// fault-free
+		case 1:
+			plan.CorruptRate = 0.02
+			plan.RetryLatency = 30 * sim.Ns
+			plan.StallRate = 0.01
+			plan.StallDur = 100 * sim.Ns
+		case 2:
+			l := fault.Link{Node: rng.Intn(nodes), Port: topo.Port{Dim: topo.X, Dir: +1}}
+			plan.Down = []fault.Window{{Link: l, From: sim.Time(400 * sim.Ns), Until: sim.Time(2 * sim.Us)}}
+		case 3:
+			l := fault.Link{Node: rng.Intn(nodes), Port: topo.Port{Dim: topo.Y, Dir: -1}}
+			plan.KillLinks = []fault.LinkKill{{Link: l, At: sim.Time(1 * sim.Us)}}
+			plan.Watchdog = 15 * sim.Us
+		case 4:
+			plan.KillNodes = []fault.NodeKill{{Node: rng.Intn(nodes), At: sim.Time(1 * sim.Us)}}
+			plan.Watchdog = 15 * sim.Us
+		}
+
+		s := sim.New()
+		s.SetGrain(1)
+		s.SetWorkers(workerPlan[0])
+		if !plan.IsZero() || plan.Seed != 0 {
+			fault.Attach(s, plan)
+		}
+		m := New(s, tor, noc.DefaultModel())
+		s.SetConfined(true)
+
+		var log strings.Builder
+		m.OnSend = func(pkt *packet.Packet, at sim.Time) {
+			fmt.Fprintf(&log, "S %d %s %v\n", pkt.Seq, pkt.Tag, at)
+		}
+		m.OnDeliver = func(pkt *packet.Packet, dst packet.Client, at sim.Time) {
+			fmt.Fprintf(&log, "D %d %s %v %v\n", pkt.Seq, pkt.Tag, dst, at)
+		}
+
+		expected := make(map[ctrKey]uint64)
+		order := make([]ctrKey, 0, 32)
+		const sends = 80
+		for i := 0; i < sends; i++ {
+			srcNode := topo.NodeID(rng.Intn(nodes))
+			dst := packet.Client{Node: topo.NodeID(rng.Intn(nodes)), Kind: packet.Slice(rng.Intn(4))}
+			ctr := packet.CounterID(rng.Intn(4))
+			at := sim.Time(rng.Int63n(int64(3 * sim.Us)))
+			bytes := rng.Intn(257)
+			inOrder := rng.Intn(3) == 0
+			tag := fmt.Sprintf("p%d", i)
+			key := ctrKey{dst, ctr}
+			if expected[key] == 0 {
+				order = append(order, key)
+			}
+			expected[key]++
+			src := m.Client(packet.Client{Node: srcNode, Kind: packet.Slice0})
+			m.Ctx(srcNode).At(at, func() {
+				src.Send(&packet.Packet{
+					Kind: packet.Write, Dst: dst, Multicast: packet.NoMulticast,
+					Counter: ctr, Addr: 8 * (i % 32), Bytes: bytes, InOrder: inOrder, Tag: tag,
+				})
+			})
+		}
+		// Register a wait per (client, counter) at its exactly reachable
+		// target; under kill plans the watchdog completes stalled waits by
+		// re-issue or degradation, so every wait still fires.
+		for _, key := range order {
+			key := key
+			target := expected[key]
+			m.Client(key.c).Wait(key.ctr, target, func() {
+				at := m.Ctx(key.c.Node).Now()
+				m.Defer(key.c.Node, func() {
+					fmt.Fprintf(&log, "W %v %d %d %v\n", key.c, key.ctr, target, at)
+				})
+			})
+		}
+
+		stops := []sim.Time{sim.Time(800 * sim.Ns), sim.Time(2 * sim.Us), sim.Time(5 * sim.Us)}
+		for i, stop := range stops {
+			drained := s.RunUntil(stop)
+			fmt.Fprintf(&log, "stop%d drained=%v now=%v fired=%d pending=%d\n",
+				i, drained, s.Now(), s.Fired(), s.Pending())
+			if i+1 < len(workerPlan) {
+				s.SetWorkers(workerPlan[i+1])
+			}
+		}
+		s.Run()
+		st := m.Stats()
+		fmt.Fprintf(&log, "stats %d %d %d %d\n", st.Sent, st.Received, st.SentBytes, st.RecvBytes)
+		fmt.Fprintf(&log, "recovery %v\n", m.Recovery())
+		fmt.Fprintf(&log, "end %v %d\n", s.Now(), s.Fired())
+		return log.String(), s.ExecWindows(), m.Recovery()
+	}
+
+	var engaged uint64
+	var recovered uint64
+	for seed := 0; seed < seeds; seed++ {
+		sd := int64(seed)*104729 + 13
+		rng := rand.New(rand.NewSource(sd ^ 0x5eed))
+		workerPlan := make([]int, 4)
+		workerPlan[0] = 2 + rng.Intn(7)
+		for i := 1; i < len(workerPlan); i++ {
+			workerPlan[i] = rng.Intn(9) // 0 = GOMAXPROCS, 1 = sequential
+		}
+		want, _, _ := run(sd, []int{1, 1, 1, 1})
+		got, windows, rec := run(sd, workerPlan)
+		if got != want {
+			t.Fatalf("seed %d workers=%v: trajectory diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				seed, workerPlan, want, got)
+		}
+		engaged += windows
+		recovered += rec.Lost + rec.Degraded
+	}
+	if engaged == 0 {
+		t.Fatal("stage-2 executor never engaged across the battery; stress is vacuous")
+	}
+	if recovered == 0 {
+		t.Fatal("no kill-class seed ever lost traffic; watchdog recovery was not exercised")
 	}
 }

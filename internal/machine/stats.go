@@ -7,6 +7,13 @@ import "anton/internal/topo"
 // on the receive side but once on the send side — this is why the paper's
 // average node receives over 500 messages per time step while sending over
 // 250.
+//
+// The live accumulator holds only the per-node counts: a node's counts are
+// updated exclusively by its own node's events, which all belong to one
+// PDES domain, so stage-2 window execution never shares a counter between
+// worker goroutines. The machine-wide totals are filled in by
+// Machine.Stats, which sums the nodes — an order-free reduction, hence
+// identical at any worker count.
 type Stats struct {
 	Sent      uint64
 	Received  uint64
@@ -16,7 +23,8 @@ type Stats struct {
 }
 
 type nodeStats struct {
-	Sent, Received uint64
+	Sent, Received       uint64
+	SentBytes, RecvBytes uint64
 }
 
 func (s *Stats) reset() {
@@ -26,6 +34,9 @@ func (s *Stats) reset() {
 	}
 }
 
+// ensureNodes grows the per-node slice; machine.New pre-sizes it to the
+// torus, so growth only happens in direct unit-test use, never from
+// worker context.
 func (s *Stats) ensureNodes(n int) {
 	if len(s.perNode) < n {
 		grown := make([]nodeStats, n)
@@ -35,17 +46,17 @@ func (s *Stats) ensureNodes(n int) {
 }
 
 func (s *Stats) send(n topo.NodeID, bytes int) {
-	s.Sent++
-	s.SentBytes += uint64(bytes)
 	s.ensureNodes(int(n) + 1)
-	s.perNode[n].Sent++
+	ns := &s.perNode[n]
+	ns.Sent++
+	ns.SentBytes += uint64(bytes)
 }
 
 func (s *Stats) recv(n topo.NodeID, bytes int) {
-	s.Received++
-	s.RecvBytes += uint64(bytes)
 	s.ensureNodes(int(n) + 1)
-	s.perNode[n].Received++
+	ns := &s.perNode[n]
+	ns.Received++
+	ns.RecvBytes += uint64(bytes)
 }
 
 // NodeSent returns the number of packets node n injected.

@@ -146,11 +146,26 @@ type Packet struct {
 	// InOrder selects the network's in-order delivery guarantee between a
 	// fixed source-destination pair (used by migration synchronization).
 	InOrder bool
-	// Seq is assigned by the machine at send time to implement the
-	// in-order guarantee; applications must not set it.
+	// Seq is the canonical global send sequence number, assigned by the
+	// machine when the injection commits; applications must not set it.
 	Seq uint64
+	// Ticket is the per-(src,dst) in-order delivery ticket, drawn by the
+	// machine at send time in program order for unicast InOrder packets.
+	// Simulation-internal bookkeeping: not part of the wire format.
+	Ticket uint64
+	// Tickets carries the per-destination in-order tickets of a multicast
+	// InOrder packet, in the deterministic (BFS) resolution order of the
+	// pattern tables. Fan-out copies share the slice read-only.
+	// Simulation-internal bookkeeping: not part of the wire format.
+	Tickets []DstTicket
 	// Tag is an opaque label for tracing and tests.
 	Tag string
+}
+
+// DstTicket pairs one multicast destination with its in-order ticket.
+type DstTicket struct {
+	Dst    Client
+	Ticket uint64
 }
 
 // WireBytes returns the packet's total size on a link: header plus payload,

@@ -1,0 +1,157 @@
+package sim
+
+import "fmt"
+
+// Ctx is a domain-bound scheduling context: the handle through which
+// domain-confined handlers read the clock and schedule follow-up work so
+// that the PDES executor can run whole windows of handlers concurrently
+// (stage 2, window.go) without losing the sequential kernel's canonical
+// order.
+//
+// Outside a parallel window phase every method is exactly the plain Sim
+// call it names (and Defer runs its function immediately), so converted
+// model code behaves bit-identically under the sequential executor. During
+// a parallel window phase the methods route through the executing domain's
+// window context instead: scheduling is logged for canonical sequence
+// assignment at the merge point, Now returns the domain-local clock, and
+// Defer queues the function for the coordinator to run at the event's
+// canonical commit slot.
+//
+// The confinement contract (DESIGN §9): a handler running in domain d may
+// only call methods of a Ctx for domain d — obtained from Sim.Ctx(d) or
+// from a Resource/Counter pinned to d — and may only touch state owned by
+// domain d. Everything else (global counters, cross-domain latches, the
+// metrics recorder) must go through Defer, whose functions run serially on
+// the simulation goroutine in canonical event order.
+type Ctx struct {
+	s   *Sim
+	dom int32
+}
+
+// Ctx returns a scheduling context bound to domain dom.
+func (s *Sim) Ctx(dom int) Ctx { return Ctx{s: s, dom: int32(dom)} }
+
+// Sim returns the underlying simulator.
+func (c Ctx) Sim() *Sim { return c.s }
+
+// Domain returns the domain this context is bound to.
+func (c Ctx) Domain() int { return int(c.dom) }
+
+// win returns the window context when the bound domain is executing a
+// parallel window phase, else nil. The coordinator goroutine blocks for
+// the whole phase, so any call observing inParallel comes from the worker
+// that owns the domain — making the unsynchronized reads safe: inParallel
+// and the wx slots are written before the workers start and after they
+// join (the WaitGroup provides the happens-before edges).
+func (c Ctx) win() *winCtx {
+	s := c.s
+	if !s.inParallel {
+		return nil
+	}
+	p := s.pd
+	if p == nil || c.dom < 0 || int(c.dom) >= len(p.wx) {
+		return nil
+	}
+	return p.wx[c.dom]
+}
+
+// Now returns the current simulation time as seen by the bound domain.
+func (c Ctx) Now() Time {
+	if w := c.win(); w != nil {
+		return w.now
+	}
+	return c.s.Now()
+}
+
+// At schedules fn at absolute time t in the bound domain.
+func (c Ctx) At(t Time, fn func()) {
+	if w := c.win(); w != nil {
+		w.schedule(c.dom, t, fn)
+		return
+	}
+	c.s.AtDomain(int(c.dom), t, fn)
+}
+
+// After schedules fn to run d after the bound domain's current time.
+func (c Ctx) After(d Dur, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if w := c.win(); w != nil {
+		w.schedule(c.dom, w.now.Add(d), fn)
+		return
+	}
+	c.s.AtDomain(int(c.dom), c.s.Now().Add(d), fn)
+}
+
+// AtDomain schedules fn at absolute time t in domain dom — the explicit
+// cross-domain hand-off. During a parallel window phase the target time
+// must lie at or beyond the window horizon; the conservative lookahead
+// guarantees that for every real inter-domain interaction, so a violation
+// panics as a modelling bug.
+func (c Ctx) AtDomain(dom int, t Time, fn func()) {
+	if w := c.win(); w != nil {
+		w.schedule(int32(dom), t, fn)
+		return
+	}
+	c.s.AtDomain(dom, t, fn)
+}
+
+// AfterDomain schedules fn to run d after the bound domain's current time
+// in domain dom.
+func (c Ctx) AfterDomain(dom int, d Dur, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if w := c.win(); w != nil {
+		w.schedule(int32(dom), w.now.Add(d), fn)
+		return
+	}
+	c.s.AtDomain(dom, c.s.Now().Add(d), fn)
+}
+
+// Defer runs fn at the calling event's canonical commit slot on the
+// simulation goroutine: immediately when no parallel window phase is
+// executing, otherwise when the coordinator replays this event at the
+// merge point — serially, in canonical (time, seq) order, after every
+// handler of the window that canonically precedes it. Deferred functions
+// are where confined handlers touch global state (sequence numbers,
+// statistics totals, the metrics recorder, cross-domain latches).
+func (c Ctx) Defer(fn func()) {
+	if w := c.win(); w != nil {
+		w.deferFn(fn)
+		return
+	}
+	if c.s.inParallel {
+		panic("sim: Defer from a domain not executing the current window")
+	}
+	fn()
+}
+
+// SetConfined declares (true) or permanently vetoes (false) the
+// domain-confinement contract for this simulator's handlers. The stage-2
+// window executor — which runs each domain's handlers on its worker
+// goroutine — engages only on simulators whose top-level workload owner
+// declared confinement and nothing vetoed it; otherwise windows fall back
+// to stage 1 (parallel queue work, serial handler commit), which needs no
+// audit. The veto is sticky: machine hard-fault recovery and the cluster
+// model veto because their recovery paths mutate machine-global state
+// from arbitrary handlers.
+func (s *Sim) SetConfined(on bool) {
+	if !on {
+		s.confineVeto = true
+		s.confined = false
+		return
+	}
+	if !s.confineVeto {
+		s.confined = true
+	}
+}
+
+// Confined reports whether the stage-2 window executor may engage.
+func (s *Sim) Confined() bool { return s.confined }
+
+// ExecWindows returns the number of windows the stage-2 executor has run.
+// Zero under the sequential kernel or the stage-1 fallback; tests assert
+// it is positive so parallel-identity checks cannot pass vacuously.
+func (s *Sim) ExecWindows() uint64 { return s.execWindows }

@@ -164,6 +164,9 @@ type domainQ struct {
 	// is the merge cursor.
 	batch []event
 	bpos  int
+	// wx is the domain's stage-2 window context (window.go), reused
+	// across windows.
+	wx *winCtx
 }
 
 // integrate merges the inbox into the heap and extracts this domain's
@@ -208,6 +211,9 @@ type pdes struct {
 	inWindow bool
 	count    int // resident (scheduled, not yet committed) events
 	heads    []int
+	// wx[d] is domain d's window context during a stage-2 window
+	// (nil outside one and for inactive domains).
+	wx []*winCtx
 }
 
 // schedule routes one event. Called from the simulation goroutine only.
@@ -277,8 +283,12 @@ func (p *pdes) run(s *Sim, deadline Time, bounded bool) bool {
 		if dl1 := deadline + 1; bounded && dl1 > deadline && horizon > dl1 {
 			horizon = dl1
 		}
-		p.extract(s, horizon)
-		p.commit(s, horizon)
+		if p.useExec(s) {
+			p.execWindow(s, horizon)
+		} else {
+			p.extract(s, horizon)
+			p.commit(s, horizon)
+		}
 	}
 }
 

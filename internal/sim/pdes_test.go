@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -12,8 +14,18 @@ import (
 // window-boundary timestamps (exact multiples of the lookahead, and one
 // tick either side). It returns the observed firing log.
 func pdesWorkload(s *Sim, domains int, lookahead Dur, seed int64, n int) []uint64 {
+	log := seedPDESWorkload(s, domains, lookahead, seed, n)
+	s.Run()
+	return *log
+}
+
+// seedPDESWorkload schedules the randomized event graph without running
+// it, so tests can interleave RunUntil stops, reconfiguration, and
+// snapshots with the workload. The returned pointer observes the firing
+// log as it grows.
+func seedPDESWorkload(s *Sim, domains int, lookahead Dur, seed int64, n int) *[]uint64 {
 	rng := rand.New(rand.NewSource(seed))
-	var log []uint64
+	log := new([]uint64)
 	var id uint64
 	var spawn func(dom int, depth int)
 	spawn = func(dom int, depth int) {
@@ -44,7 +56,7 @@ func pdesWorkload(s *Sim, domains int, lookahead Dur, seed int64, n int) []uint6
 			target = rng.Intn(domains)
 		}
 		fn := func() {
-			log = append(log, me)
+			*log = append(*log, me)
 			if depth < 4 && rng.Intn(10) < 6 {
 				spawn(target, depth+1)
 			}
@@ -62,7 +74,6 @@ func pdesWorkload(s *Sim, domains int, lookahead Dur, seed int64, n int) []uint6
 		s.AtDomain(rng.Intn(domains), Time(rng.Int63n(int64(lookahead)*10)), func() {})
 		spawn(rng.Intn(domains), 0)
 	}
-	s.Run()
 	return log
 }
 
@@ -341,4 +352,79 @@ func TestPDESResourceDomainPinned(t *testing.T) {
 			t.Fatalf("service start %d: %v, want %v", i, got[i], want[i])
 		}
 	}
+}
+
+// TestPDESReconfigureStress is the seeded half of the 600-run race
+// battery (the machine half lives in internal/machine's recovery
+// stress): each seed derives a domain count, lookahead, workload, a
+// schedule of RunUntil stops pinned to window boundaries (exact
+// lookahead multiples and one tick either side), and a worker-count
+// flip to apply at every stop — so engagement, disengagement, and
+// re-engagement all happen with events resident mid-window. At each
+// stop the test captures a checkpoint of the observable state (clock,
+// fired count, resident population, firing-log prefix); the whole
+// trajectory and every checkpoint must match the sequential run of the
+// same schedule. ci.sh runs this under the race detector, where any
+// unsynchronized sharing between window workers and the coordinator
+// also fails the run.
+func TestPDESReconfigureStress(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 40
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) * 7919))
+		domains := 2 + rng.Intn(31)
+		lookahead := Dur(5+rng.Intn(60)) * Ns
+		n := 40 + rng.Intn(80)
+
+		// RunUntil stops at window boundaries, ascending; the offset puts
+		// some stops exactly on a boundary and some one tick either side.
+		stops := make([]Time, 3)
+		k := 0
+		for i := range stops {
+			k += 1 + rng.Intn(7)
+			stops[i] = Time(int64(lookahead)*int64(k) + int64(rng.Intn(3)-1))
+		}
+		flips := make([]int, len(stops))
+		for i := range flips {
+			flips[i] = rng.Intn(9) // 0 = GOMAXPROCS, 1 = disengage, else workers
+		}
+		wseed := rng.Int63()
+
+		run := func(parallel bool) string {
+			s := New()
+			if parallel {
+				s.SetGrain(1)
+				s.Partition(domains, lookahead)
+				s.SetWorkers(2 + rngStatic(wseed)%7)
+			}
+			log := seedPDESWorkload(s, domains, lookahead, wseed, n)
+			var ckpt strings.Builder
+			for i, stop := range stops {
+				drained := s.RunUntil(stop)
+				fmt.Fprintf(&ckpt, "stop%d drained=%v now=%v fired=%d pending=%d log=%d\n",
+					i, drained, s.Now(), s.Fired(), s.Pending(), len(*log))
+				if parallel {
+					s.SetWorkers(flips[i])
+				}
+			}
+			s.Run()
+			fmt.Fprintf(&ckpt, "end now=%v fired=%d log=%v\n", s.Now(), s.Fired(), *log)
+			return ckpt.String()
+		}
+
+		want := run(false)
+		got := run(true)
+		if got != want {
+			t.Fatalf("seed %d (domains=%d lookahead=%v stops=%v flips=%v): trajectory diverged\n--- sequential ---\n%s--- parallel ---\n%s",
+				seed, domains, lookahead, stops, flips, want, got)
+		}
+	}
+}
+
+// rngStatic derives a small positive constant from a seed without
+// consuming the workload's random stream.
+func rngStatic(seed int64) int {
+	return int(uint64(seed) % 97)
 }

@@ -35,8 +35,24 @@ func (r *Resource) InDomain(dom int) *Resource {
 
 // Acquire schedules fn to run when the resource becomes free (no earlier
 // than now) and occupies the resource for service starting at that moment.
-// It returns the time at which service begins.
+// It returns the time at which service begins. A pinned resource is
+// domain-confined state: during a stage-2 window only its own domain's
+// handlers may acquire it, and the call routes through the domain Ctx.
 func (r *Resource) Acquire(service Dur, fn func(start Time)) Time {
+	if r.dom >= 0 {
+		c := Ctx{s: r.sim, dom: r.dom}
+		start := r.freeAt
+		if now := c.Now(); start < now {
+			start = now
+		}
+		r.freeAt = start.Add(service)
+		r.busy += service
+		r.uses++
+		if fn != nil {
+			c.At(start, func() { fn(start) })
+		}
+		return start
+	}
 	start := r.freeAt
 	if now := r.sim.Now(); start < now {
 		start = now
@@ -45,11 +61,7 @@ func (r *Resource) Acquire(service Dur, fn func(start Time)) Time {
 	r.busy += service
 	r.uses++
 	if fn != nil {
-		if r.dom >= 0 {
-			r.sim.AtDomain(int(r.dom), start, func() { fn(start) })
-		} else {
-			r.sim.At(start, func() { fn(start) })
-		}
+		r.sim.At(start, func() { fn(start) })
 	}
 	return start
 }
@@ -76,6 +88,10 @@ type Counter struct {
 	sim   *Sim
 	value uint64
 	waits []counterWait
+	// dom, when >= 0, pins the counter's wake events to that spatial
+	// domain; -1 inherits the scheduling event's domain. A pinned counter
+	// is domain-confined state under the stage-2 contract.
+	dom int32
 }
 
 type counterWait struct {
@@ -85,7 +101,23 @@ type counterWait struct {
 }
 
 // NewCounter returns a counter attached to s with value zero.
-func NewCounter(s *Sim) *Counter { return &Counter{sim: s} }
+func NewCounter(s *Sim) *Counter { return &Counter{sim: s, dom: -1} }
+
+// InDomain pins the counter's wake events to spatial domain dom and
+// returns the counter for construction chaining.
+func (c *Counter) InDomain(dom int) *Counter {
+	c.dom = int32(dom)
+	return c
+}
+
+// wake schedules a satisfied waiter's callback poll after now.
+func (c *Counter) wake(poll Dur, fn func()) {
+	if c.dom >= 0 {
+		Ctx{s: c.sim, dom: c.dom}.After(poll, fn)
+		return
+	}
+	c.sim.After(poll, fn)
+}
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.value }
@@ -102,8 +134,7 @@ func (c *Counter) Add(n uint64) {
 	remaining := c.waits[:0]
 	for _, w := range c.waits {
 		if c.value >= w.target {
-			fn := w.fn
-			c.sim.After(w.poll, fn)
+			c.wake(w.poll, w.fn)
 		} else {
 			remaining = append(remaining, w)
 		}
@@ -123,7 +154,7 @@ func (c *Counter) Reset() {
 // Wait schedules fn to run pollOverhead after the counter reaches target.
 func (c *Counter) Wait(target uint64, pollOverhead Dur, fn func()) {
 	if c.value >= target {
-		c.sim.After(pollOverhead, fn)
+		c.wake(pollOverhead, fn)
 		return
 	}
 	c.waits = append(c.waits, counterWait{target: target, poll: pollOverhead, fn: fn})

@@ -163,6 +163,19 @@ type Sim struct {
 	grain    int
 	pd       *pdes
 
+	// Stage-2 state (ctx.go, window.go): confined records that the
+	// workload declared the domain-confinement contract, confineVeto
+	// permanently disables it, and inParallel is true exactly while
+	// worker goroutines are executing a window's handlers — when only
+	// domain-bound Ctx calls are legal.
+	confined    bool
+	confineVeto bool
+	inParallel  bool
+	// execWindows counts stage-2 windows executed, so tests and benchmarks
+	// can prove the parallel path engaged rather than passing vacuously
+	// through the stage-1 fallback.
+	execWindows uint64
+
 	// Faults is the attachment point for the deterministic
 	// fault-injection layer (internal/fault): fault.Attach stores its
 	// *Injector here and the model constructors (machine.New,
@@ -184,8 +197,17 @@ type Sim struct {
 // New returns a fresh simulator at time zero.
 func New() *Sim { return &Sim{} }
 
-// Now returns the current simulation time.
-func (s *Sim) Now() Time { return s.now }
+// Now returns the current simulation time. During a parallel window
+// phase the global clock is unrelated to the calling handler's domain
+// clock, so the call panics — confined handlers read time through a
+// domain Ctx instead, and the panic turns an unconverted call site into
+// a loud test failure rather than silent divergence.
+func (s *Sim) Now() Time {
+	if s.inParallel {
+		panic("sim: Sim.Now during parallel window execution (use a domain Ctx)")
+	}
+	return s.now
+}
 
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() uint64 { return s.nfired }
@@ -243,6 +265,9 @@ func (s *Sim) AfterDomain(dom int, d Dur, fn func()) {
 // during event commit, which both executors serialize), so seq assignment
 // is identical whatever the worker count.
 func (s *Sim) schedule(dom int32, t Time, fn func()) {
+	if s.inParallel {
+		panic("sim: unconfined scheduling during parallel window execution (use a domain Ctx)")
+	}
 	s.seq++
 	e := event{at: t, seq: s.seq, dom: dom, fn: fn}
 	if p := s.pd; p != nil {

@@ -1,0 +1,400 @@
+package sim
+
+// Stage-2 window execution: within one conservative window each active
+// domain's handlers run on a worker goroutine (fused with that domain's
+// queue integration), and the coordinator then replays a per-domain
+// execution log at the merge point to assign the canonical global sequence
+// numbers and run the deferred cross-domain effects — serially, in exactly
+// the (time, seq) order the sequential executor would have used.
+//
+// Why the result is bit-identical to the sequential kernel:
+//
+//   - Batch events enter the window with their real sequence numbers, and
+//     a worker executes them in (at, seq) order merged with the domain's
+//     in-window children. A child scheduled into its own domain below the
+//     horizon gets a provisional key (provBit | creation index), which
+//     compares after every real sequence number at the same timestamp —
+//     matching the canonical order, where children drawn during the window
+//     always receive later sequence numbers than every pre-window event.
+//     Two provisional children compare by creation index, which equals
+//     their canonical-assignment order at replay. Within one domain the
+//     local execution order therefore equals the canonical order
+//     restricted to that domain.
+//   - Every scheduling call and every Defer is appended to one per-event
+//     action log in call order. Replay walks the merged logs in canonical
+//     event order and processes actions in call order, assigning s.seq++
+//     to each schedule exactly where the sequential kernel would have
+//     (defers run inline there, so their nested schedules also land in
+//     the right slots).
+//   - Cross-domain scheduling below the horizon panics: the conservative
+//     lookahead guarantees real models never do it, and anything else is
+//     a confinement violation that must be loud.
+//
+// The executor engages per window (execWindow vs extract+commit in
+// pdes.run) only when the simulator is confined (Sim.SetConfined), more
+// than one domain is active, and the population clears the grain; both
+// paths reproduce the sequential order exactly, so mixing them across
+// windows is safe.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// provBit marks a provisional (not yet canonically numbered) key; it
+// compares after every real sequence number.
+const provBit = uint64(1) << 63
+
+const (
+	actSched = uint8(iota) // a scheduling call (At/After/AtDomain/...)
+	actDefer               // a Defer(fn) — run at replay
+)
+
+// waction is one logged action of one handler, in call order.
+type waction struct {
+	at   Time
+	fn   func()
+	dom  int32
+	prov int32 // provisional index when executed locally in-window, else -1
+	kind uint8
+}
+
+// wlogEntry is one executed event in a domain's window log. key is the
+// event's real sequence number, or provBit|provIdx until replay resolves
+// it (a domain's first log entry is always real: the local child heap is
+// empty when the window starts). prov records whether the entry began
+// provisional — replay resolves key in place (clearing provBit), so the
+// key alone can't tell a resolved child from a batch event, and only
+// batch events leave the resident population at replay.
+type wlogEntry struct {
+	at   Time
+	key  uint64
+	nact int32
+	prov bool
+}
+
+// levent is a pending in-window local child on a worker's private heap.
+type levent struct {
+	at  Time
+	key uint64
+	fn  func()
+}
+
+// winCtx is one domain's window-execution context. During the parallel
+// phase exactly one worker owns it; during replay only the coordinator
+// touches it. Slices are reused across windows.
+type winCtx struct {
+	dom     int32
+	ndom    int
+	now     Time
+	horizon Time
+	entries []wlogEntry
+	acts    []waction
+	lheap   []levent
+	prov    []uint64 // provisional index -> real seq, filled at replay
+	err     any      // captured handler panic, re-raised by the coordinator
+	ei, ai  int      // replay cursors (entry, action)
+}
+
+func (wx *winCtx) reset(horizon Time) {
+	wx.now = 0
+	wx.horizon = horizon
+	wx.entries = wx.entries[:0]
+	wx.acts = wx.acts[:0]
+	wx.lheap = wx.lheap[:0]
+	wx.prov = wx.prov[:0]
+	wx.err = nil
+	wx.ei, wx.ai = 0, 0
+}
+
+// schedule logs one scheduling call from this domain's handler. Local
+// sub-horizon children additionally enter the worker's private heap for
+// in-window execution; everything else is posted at replay.
+func (wx *winCtx) schedule(dom int32, t Time, fn func()) {
+	if t < wx.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, wx.now))
+	}
+	if dom < 0 || int(dom) >= wx.ndom {
+		dom = int32(uint32(dom) % uint32(wx.ndom))
+	}
+	if t < wx.horizon {
+		if dom != wx.dom {
+			panic(fmt.Sprintf("sim: cross-domain schedule from domain %d into domain %d at %v inside the lookahead window ending %v (confinement violation)",
+				wx.dom, dom, t, wx.horizon))
+		}
+		idx := int32(len(wx.prov))
+		wx.prov = append(wx.prov, 0)
+		wx.acts = append(wx.acts, waction{kind: actSched, at: t, dom: dom, prov: idx, fn: fn})
+		wx.lpush(levent{at: t, key: provBit | uint64(idx), fn: fn})
+		return
+	}
+	wx.acts = append(wx.acts, waction{kind: actSched, at: t, dom: dom, prov: -1, fn: fn})
+}
+
+func (wx *winCtx) deferFn(fn func()) {
+	wx.acts = append(wx.acts, waction{kind: actDefer, prov: -1, fn: fn})
+}
+
+func (wx *winCtx) lless(a, b *levent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.key < b.key
+}
+
+func (wx *winCtx) lpush(e levent) {
+	wx.lheap = append(wx.lheap, e)
+	s := wx.lheap
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wx.lless(&s[i], &s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (wx *winCtx) lpop() levent {
+	s := wx.lheap
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = levent{}
+	wx.lheap = s[:n]
+	s = wx.lheap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && wx.lless(&s[l], &s[least]) {
+			least = l
+		}
+		if r < n && wx.lless(&s[r], &s[least]) {
+			least = r
+		}
+		if least == i {
+			return top
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+}
+
+// execute runs the domain's window: the extracted batch (sorted — it was
+// popped from a heap) merged with the in-window children the handlers
+// create, in the domain-local canonical order.
+func (wx *winCtx) execute(batch []event) {
+	defer func() {
+		if r := recover(); r != nil {
+			wx.err = r
+		}
+	}()
+	bi := 0
+	for bi < len(batch) || len(wx.lheap) > 0 {
+		var at Time
+		var fn func()
+		var key uint64
+		useLocal := len(wx.lheap) > 0
+		if useLocal && bi < len(batch) {
+			l, b := &wx.lheap[0], &batch[bi]
+			// provBit makes every local child compare after every real
+			// seq at the same instant — the canonical tie-break.
+			if b.at < l.at || (b.at == l.at && b.seq < l.key) {
+				useLocal = false
+			}
+		}
+		if useLocal {
+			l := wx.lpop()
+			at, key, fn = l.at, l.key, l.fn
+		} else {
+			b := &batch[bi]
+			at, key, fn = b.at, b.seq, b.fn
+			batch[bi] = event{}
+			bi++
+		}
+		wx.now = at
+		wx.entries = append(wx.entries, wlogEntry{at: at, key: key, prov: key&provBit != 0})
+		na := len(wx.acts)
+		fn()
+		wx.entries[len(wx.entries)-1].nact = int32(len(wx.acts) - na)
+	}
+}
+
+// useExec reports whether the next window should run stage 2.
+func (p *pdes) useExec(s *Sim) bool {
+	return s.confined && s.kworkers > 1 && len(p.active) > 1 && p.count >= p.grain
+}
+
+// execWindow runs one stage-2 window: fused integrate+execute per active
+// domain on the workers, then the canonical replay on the coordinator.
+func (p *pdes) execWindow(s *Sim, horizon Time) {
+	s.execWindows++
+	act := p.active
+	if p.wx == nil {
+		p.wx = make([]*winCtx, p.ndom)
+	}
+	for _, d := range act {
+		q := &p.dq[d]
+		if q.wx == nil {
+			q.wx = &winCtx{dom: int32(d), ndom: p.ndom}
+		}
+		q.wx.reset(horizon)
+		p.wx[d] = q.wx
+	}
+	w := s.kworkers
+	if w > len(act) {
+		w = len(act)
+	}
+	s.inParallel = true
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(act) {
+					return
+				}
+				q := &p.dq[act[i]]
+				q.integrate(horizon)
+				q.wx.execute(q.batch)
+			}
+		}()
+	}
+	wg.Wait()
+	s.inParallel = false
+	for _, d := range act {
+		if err := p.wx[d].err; err != nil {
+			for _, dd := range act {
+				p.wx[dd] = nil
+			}
+			panic(err)
+		}
+	}
+	p.replay(s, act, horizon)
+	for _, d := range act {
+		p.wx[d] = nil
+	}
+}
+
+// rhead returns the canonical key of domain d's next unreplayed log entry
+// (always resolved: entries are resolved in place as the cursor advances,
+// and a domain's first entry is never provisional).
+func (p *pdes) rhead(d int) (Time, uint64) {
+	wx := p.wx[d]
+	e := &wx.entries[wx.ei]
+	return e.at, e.key
+}
+
+func (p *pdes) rless(a, b int) bool {
+	at1, k1 := p.rhead(a)
+	at2, k2 := p.rhead(b)
+	if at1 != at2 {
+		return at1 < at2
+	}
+	return k1 < k2
+}
+
+func (p *pdes) siftRHeads(i int) {
+	h := p.heads
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && p.rless(h[l], h[least]) {
+			least = l
+		}
+		if r < n && p.rless(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// replay is the canonical merge point: it walks the per-domain execution
+// logs in global (time, seq) order, advancing the clock and firing count
+// for each logged event, assigning the canonical sequence number to every
+// logged schedule (recording it for provisional children, posting real
+// events otherwise), and running the deferred functions. Overflow events —
+// scheduled sub-horizon by deferred functions — execute fully, interleaved
+// at their canonical slots.
+func (p *pdes) replay(s *Sim, act []int, horizon Time) {
+	p.inWindow = true
+	p.horizon = horizon
+	p.heads = p.heads[:0]
+	for _, d := range act {
+		if len(p.wx[d].entries) > 0 {
+			p.heads = append(p.heads, d)
+		}
+	}
+	for i := len(p.heads)/2 - 1; i >= 0; i-- {
+		p.siftRHeads(i)
+	}
+	for {
+		useOverflow := false
+		switch {
+		case len(p.heads) > 0 && len(p.overflow) > 0:
+			at, key := p.rhead(p.heads[0])
+			o := &p.overflow[0]
+			useOverflow = o.at < at || (o.at == at && o.seq < key)
+		case len(p.overflow) > 0:
+			useOverflow = true
+		case len(p.heads) == 0:
+			p.inWindow = false
+			return
+		}
+		if useOverflow {
+			e := p.overflow.pop()
+			p.count--
+			s.exec(&e)
+			continue
+		}
+		wx := p.wx[p.heads[0]]
+		ent := &wx.entries[wx.ei]
+		s.now = ent.at
+		s.curDom = wx.dom
+		s.nfired++
+		if !ent.prov {
+			// Batch events leave the resident population here; in-window
+			// children were created and consumed inside the window and
+			// never entered it.
+			p.count--
+		}
+		end := wx.ai + int(ent.nact)
+		for wx.ai < end {
+			a := &wx.acts[wx.ai]
+			wx.ai++
+			if a.kind == actSched {
+				s.seq++
+				if a.prov >= 0 {
+					wx.prov[a.prov] = s.seq
+				} else {
+					p.schedule(event{at: a.at, seq: s.seq, dom: a.dom, fn: a.fn})
+				}
+			} else {
+				a.fn()
+			}
+			a.fn = nil
+		}
+		wx.ei++
+		if wx.ei == len(wx.entries) {
+			n := len(p.heads) - 1
+			p.heads[0] = p.heads[n]
+			p.heads = p.heads[:n]
+		} else if e := &wx.entries[wx.ei]; e.key&provBit != 0 {
+			// Resolve the next head's key: its creator replayed already
+			// (parents precede children in the log), so the mapping is set.
+			e.key = wx.prov[e.key&^provBit]
+		}
+		p.siftRHeads(0)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// confinedWorkload drives a synthetic confined model on s: ndom domains,
+// each hosting a chain of local events (sub-lookahead self-schedules) that
+// periodically hands off to a neighbour domain at +lookahead and records
+// every commit through Defer. The returned trace is the canonical record
+// (time, firing order) of everything that ran.
+func confinedWorkload(s *Sim, ndom int, la Dur, rounds int) []string {
+	var trace []string
+	s.Partition(ndom, la)
+	s.SetConfined(true)
+	var hop func(dom, round, k int)
+	hop = func(dom, round, k int) {
+		c := s.Ctx(dom)
+		now := c.Now()
+		c.Defer(func() { trace = append(trace, fmt.Sprintf("d%d r%d k%d @%d", dom, round, k, now)) })
+		if k < 3 {
+			// Local sub-lookahead child: exercises the provisional path.
+			c.After(la/4+1, func() { hop(dom, round, k+1) })
+			return
+		}
+		if round < rounds {
+			next := (dom + 1) % ndom
+			c.AfterDomain(next, la, func() { hop(next, round+1, 0) })
+		}
+	}
+	for d := 0; d < ndom; d++ {
+		d := d
+		s.Ctx(d).At(Time(d+1), func() { hop(d, 0, 0) })
+	}
+	s.Run()
+	return trace
+}
+
+// TestWindowExecutorIdentity pins stage 2's determinism contract at the
+// kernel level: the commit trace (every event's domain, payload, and
+// timestamp, in firing order) and the fired-event count are identical
+// between the sequential executor and the stage-2 window executor at
+// several worker/grain settings.
+func TestWindowExecutorIdentity(t *testing.T) {
+	const ndom, rounds = 8, 6
+	const la = Dur(1000)
+	ref := New()
+	want := confinedWorkload(ref, ndom, la, rounds)
+	wantFired := ref.Fired()
+	if len(want) == 0 {
+		t.Fatal("workload produced no trace")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		for _, grain := range []int{1, 16, DefaultGrain} {
+			s := New()
+			s.SetWorkers(workers)
+			s.SetGrain(grain)
+			got := confinedWorkload(s, ndom, la, rounds)
+			if s.Fired() != wantFired {
+				t.Fatalf("workers=%d grain=%d fired %d events, sequential fired %d",
+					workers, grain, s.Fired(), wantFired)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d grain=%d trace length %d, want %d", workers, grain, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d grain=%d trace[%d] = %q, want %q", workers, grain, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowExecutorEngages proves the stage-2 path actually ran in the
+// identity test's configuration (otherwise it would vacuously pass by
+// falling back to stage 1): an unconverted Sim.Now call from a handler
+// must panic during a parallel window phase.
+func TestWindowExecutorEngages(t *testing.T) {
+	s := New()
+	s.SetWorkers(4)
+	s.SetGrain(1)
+	s.Partition(4, 1000)
+	s.SetConfined(true)
+	for d := 0; d < 4; d++ {
+		d := d
+		s.Ctx(d).At(1, func() {
+			_ = s.Now() // illegal: plain Sim call from a parallel window
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sim.Now from a stage-2 handler did not panic (stage 2 never engaged?)")
+		}
+	}()
+	s.Run()
+}
+
+// TestWindowCrossDomainViolation pins the loud-failure guard for
+// lookahead violations: a cross-domain schedule below the horizon panics.
+func TestWindowCrossDomainViolation(t *testing.T) {
+	s := New()
+	s.SetWorkers(4)
+	s.SetGrain(1)
+	s.Partition(4, 1_000_000)
+	s.SetConfined(true)
+	for d := 0; d < 4; d++ {
+		d := d
+		s.Ctx(d).At(1, func() {
+			s.Ctx(d).AtDomain((d+1)%4, 2, func() {}) // inside the window
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-horizon cross-domain schedule did not panic")
+		}
+	}()
+	s.Run()
+}
+
+// TestSetConfinedVetoSticky pins the veto semantics: once any layer vetoes
+// confinement, later declarations cannot re-enable stage 2.
+func TestSetConfinedVetoSticky(t *testing.T) {
+	s := New()
+	s.SetConfined(true)
+	if !s.Confined() {
+		t.Fatal("SetConfined(true) did not declare confinement")
+	}
+	s.SetConfined(false)
+	s.SetConfined(true)
+	if s.Confined() {
+		t.Fatal("veto was not sticky")
+	}
+}
