@@ -1,9 +1,12 @@
 #!/bin/sh
 # CI gate: lint and static checks, the race-detector run of the short
 # test suite, the named subsystem batteries (fault injection, metrics,
-# hard-failure recovery, checkpoint/restart), the PDES golden-identity
-# gate (every report byte-identical at any -workers setting), and the
-# PDES perf-trajectory gate against the committed BENCH_pdes.json.
+# hard-failure recovery, checkpoint/restart, the analytic fast-path
+# tier), the PDES golden-identity gate (every report byte-identical at
+# any -workers setting), the PDES perf-trajectory gate against the
+# committed BENCH_pdes.json, and the analytic fast-path gate against
+# BENCH_analytic.json (exact answer checksums plus the >=1000x per-query
+# speedup floor).
 #
 # Usage: ./ci.sh
 #
@@ -81,6 +84,24 @@ stage "fuzz corpus (FuzzPDESDifferential seeds, -race)"
 # replayed as regular tests under the race detector.
 go test -race -run FuzzPDESDifferential ./internal/sim
 
+stage "analytic suite"
+# The closed-form fast-path tier's validation battery: the exact
+# differential tests (point-to-point writes, packet trains, collectives,
+# the InfiniBand cluster), the property tests (monotonicity in hops and
+# payload, src/dst symmetry, serialization additivity, the 11 pinned
+# Figure 6 routes, the torus-diameter worst case), the calibrated step
+# model's error-bound and refusal tests, the fastpath report goldens in
+# both fidelities, and the -fidelity error paths of all three CLIs.
+go test ./internal/analytic
+go test -run 'Fastpath|FidelityGate' ./cmd/antonbench ./cmd/latency ./cmd/mdsim
+
+stage "fuzz corpus (FuzzAnalyticVsDES seeds, -race)"
+# The analytic-vs-DES differential fuzzer's checked-in corpus — random
+# topologies, routes, payload trains, collective shapes, and cluster
+# transfers, the closed form compared exactly against the event
+# simulator — replayed as regular tests under the race detector.
+go test -race -run FuzzAnalyticVsDES ./internal/analytic
+
 stage "metrics suite"
 # The measured-latency observability layer: unit and property tests
 # (histogram merge associativity/commutativity, count conservation),
@@ -136,23 +157,29 @@ cmp "$tmpdir/md-full.out" "$tmpdir/md-cross.out"
 stage "PDES golden identity (workers 1 vs 8)"
 # The parallel event kernel must not change a byte of any experiment
 # report or trace. Run the headline latency experiment, the metrics
-# observability experiment (capturing its chrome-trace export), and
-# both fault sweeps through the real CLI sequentially and fully
-# parallel, strip the wall-clock footers ("[id completed in N.Ns]" —
-# the only real-time lines), and require identical bytes.
+# observability experiment (capturing its chrome-trace export), both
+# fault sweeps, and the analytic fast-path differential report through
+# the real CLI sequentially and fully parallel, strip the wall-clock
+# footers ("[id completed in N.Ns]") and the trace-path status line
+# ("wrote ...") — the only lines that differ by construction — and
+# require identical bytes.
 for w in 1 8; do
 	"$tmpdir/bin/antonbench" -quick -workers "$w" \
-		-trace-out "$tmpdir/pdes-trace-$w.json" fig6 metrics faultsweep killsweep |
-		sed '/^\[.* completed in /d' >"$tmpdir/pdes-$w.out"
+		-trace-out "$tmpdir/pdes-trace-$w.json" fig6 metrics faultsweep killsweep fastpath |
+		sed -e '/^\[.* completed in /d' -e '/^wrote /d' >"$tmpdir/pdes-$w.out"
 done
 cmp "$tmpdir/pdes-1.out" "$tmpdir/pdes-8.out"
 cmp "$tmpdir/pdes-trace-1.json" "$tmpdir/pdes-trace-8.json"
 
-stage "PDES perf gate (BENCH_pdes.json)"
-# Time the kernel on the gate workloads at workers 1/4/8 and compare
-# wall time against the committed baseline; exact event counts are part
-# of the contract. Regenerates the artifact into $tmpdir for inspection.
-"$tmpdir/bin/benchgate" -baseline BENCH_pdes.json -out "$tmpdir/BENCH_pdes.json"
+stage "perf gates (BENCH_pdes.json, BENCH_analytic.json)"
+# Time the PDES kernel on the gate workloads at workers 1/4/8 and
+# compare wall time against the committed baseline (exact event counts
+# are part of the contract), then gate the analytic fast-path tier:
+# exact answer checksums (the fit fingerprint) and the >=1000x
+# per-query speedup floor over one equivalent DES run. Regenerates both
+# artifacts into $tmpdir for inspection.
+"$tmpdir/bin/benchgate" -baseline BENCH_pdes.json -out "$tmpdir/BENCH_pdes.json" \
+	-analytic-baseline BENCH_analytic.json -analytic-out "$tmpdir/BENCH_analytic.json"
 
 stage "done"
 echo "CI checks passed in $((stage_start - ci_start))s."

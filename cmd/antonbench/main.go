@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	antonbench [-quick] [-workers N] [-faults PLAN] list
+//	antonbench [-quick] [-workers N] [-faults PLAN] [-fidelity des|analytic] list
 //	antonbench [-quick] [-workers N] [-faults PLAN] <experiment-id> [...]
 //	antonbench [-quick] [-workers N] [-faults PLAN] all
 //	antonbench [-quick] [-bench-out BENCH_metrics.json] [-trace-out trace.json] metrics
@@ -19,6 +19,13 @@
 // completes, so a killed run loses at most the experiment in flight.
 // -restore re-prints the snapshot's completed reports (verifying the
 // -quick and -faults settings match) and runs only the remainder.
+//
+// -fidelity selects the simulation tier: des (the default) answers every
+// query on the event-driven simulator; analytic answers from the
+// closed-form fast-path tier (internal/analytic) for the experiments
+// that support it (currently fastpath). The analytic tier models a
+// fault-free machine, so it refuses -faults, and event-driven-only
+// experiments refuse to run at analytic fidelity.
 //
 // The metrics experiment renders the measured-latency observability
 // report; alongside it, -bench-out writes the machine-readable
@@ -56,8 +63,18 @@ func main() {
 		"rewrite a snapshot of the completed experiment reports after each one finishes")
 	restore := flag.String("restore", "",
 		"restore completed experiment reports from a snapshot; only the remainder is re-run")
+	fidelityFlag := flag.String("fidelity", harness.FidelityDES,
+		"simulation tier: des (event-driven) or analytic (closed-form fast path; fastpath only)")
 	flag.Parse()
 	harness.SetWorkers(*workers)
+	if err := fidelityGate(*fidelityFlag, *faults, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "antonbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := harness.SetFidelity(*fidelityFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "antonbench: -fidelity: %v\n", err)
+		os.Exit(1)
+	}
 	if *faults != "" {
 		plan, err := fault.ParsePlan(*faults)
 		if err != nil {
@@ -83,18 +100,29 @@ func main() {
 	}
 	ids := args
 	if args[0] == "all" {
+		// At analytic fidelity, "all" means every analytic-capable
+		// experiment; the event-driven-only ones are skipped rather than
+		// refused.
 		ids = nil
 		for _, e := range harness.All() {
+			if harness.Fidelity() == harness.FidelityAnalytic && !e.Analytic {
+				continue
+			}
 			ids = append(ids, e.ID)
 		}
+	}
+	if err := fidelityGate(*fidelityFlag, *faults, ids); err != nil {
+		fmt.Fprintf(os.Stderr, "antonbench: %v\n", err)
+		os.Exit(1)
 	}
 
 	// A snapshot carries the settings that determine report content plus
 	// one "id\x00report" row per completed experiment, rewritten after
 	// each finishes so a killed run resumes where it left off.
 	fields := map[string]string{
-		"quick":  strconv.FormatBool(*quick),
-		"faults": *faults,
+		"quick":    strconv.FormatBool(*quick),
+		"faults":   *faults,
+		"fidelity": harness.Fidelity(),
 	}
 	done := map[string]string{}
 	var rows []string
@@ -167,6 +195,30 @@ func main() {
 		rows = append(rows, id+"\x00"+report)
 		snapshot()
 	}
+}
+
+// fidelityGate validates the -fidelity value against the other flags and
+// the requested experiments before anything runs: the analytic tier
+// models a fault-free machine (so fault plans and kill scenarios are
+// refused, not silently ignored), and experiments without a closed-form
+// tier refuse to answer at analytic fidelity.
+func fidelityGate(fidelity, faults string, ids []string) error {
+	f, err := harness.ParseFidelity(fidelity)
+	if err != nil {
+		return fmt.Errorf("-fidelity: %v", err)
+	}
+	if f != harness.FidelityAnalytic {
+		return nil
+	}
+	if faults != "" {
+		return fmt.Errorf("-fidelity analytic models a fault-free machine and refuses fault plans; drop -faults or use -fidelity des")
+	}
+	for _, id := range ids {
+		if e, ok := harness.Lookup(id); ok && !e.Analytic {
+			return fmt.Errorf("experiment %q is event-driven only and has no analytic tier; run it with -fidelity des", id)
+		}
+	}
+	return nil
 }
 
 func writeArtifact(path string, data []byte) {

@@ -71,6 +71,50 @@ func TestKillsweepGolden(t *testing.T) {
 	}
 }
 
+// TestFastpathGolden pins the analytic fast-path validation report in
+// both fidelities. The des-fidelity report cross-checks every analytic
+// answer against the event simulator with per-row error columns (any
+// non-"exact" network cell or out-of-bound step cell is a tier
+// divergence), and the analytic-fidelity report pins the closed-form
+// answers and the calibration fit on their own. Regenerate after an
+// intentional model change with:
+//
+//	go test ./cmd/antonbench -run Fastpath -update
+func TestFastpathGolden(t *testing.T) {
+	e, ok := harness.Lookup("fastpath")
+	if !ok {
+		t.Fatal("experiment fastpath not registered")
+	}
+	for _, fidelity := range []string{harness.FidelityDES, harness.FidelityAnalytic} {
+		if err := harness.SetFidelity(fidelity); err != nil {
+			t.Fatal(err)
+		}
+		got := e.Run(true)
+		name := "fastpath"
+		if fidelity == harness.FidelityAnalytic {
+			name = "fastpath-analytic"
+		}
+		path := filepath.Join("testdata", name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with: go test ./cmd/antonbench -run Fastpath -update)", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s report drifted from %s — if the model change is intentional, regenerate with -update\n--- got ---\n%s--- want ---\n%s",
+				name, path, got, want)
+		}
+	}
+	if err := harness.SetFidelity(harness.FidelityDES); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestMetricsZeroOverheadIdentity pins the observability layer's
 // determinism contract against the golden reports: with a lifecycle
 // recorder attached to every harness simulator, fig6 and table1 must

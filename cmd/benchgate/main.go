@@ -24,6 +24,15 @@
 // -update rewrites the baseline from the fresh measurements instead of
 // comparing, which is how both deliberate perf trajectory changes and
 // model changes land.
+//
+// The command also gates the analytic fast-path tier against
+// BENCH_analytic.json: each workload answers a closed-form query batch
+// (harness.AnalyticBenchmarks), and the gate pins the answer checksum
+// exactly — the committed artifact is a machine-readable fingerprint of
+// the calibrated model — and requires the per-query speedup over one
+// equivalent DES run to stay above the -min-speedup floor (default
+// 1000x, the fastpath experiment's acceptance contract). -update
+// rewrites both baselines.
 package main
 
 import (
@@ -34,12 +43,16 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"anton/internal/harness"
 )
 
 // benchSchema versions the BENCH_pdes.json layout.
 const benchSchema = "anton-bench/v1"
+
+// analyticSchema versions the BENCH_analytic.json layout.
+const analyticSchema = "anton-analytic/v1"
 
 // Result is one (workload, workers) measurement.
 type Result struct {
@@ -56,6 +69,28 @@ type File struct {
 	Results []Result `json:"results"`
 }
 
+// AnalyticResult is one analytic fast-path workload measurement.
+type AnalyticResult struct {
+	Name string `json:"name"`
+	// Queries is the number of closed-form queries per batch and
+	// ChecksumPs the sum of their answers in picoseconds — both pure
+	// functions of the model, gated exactly (the fit fingerprint).
+	Queries    int   `json:"queries"`
+	ChecksumPs int64 `json:"checksum_ps"`
+	// Wall-time measurements, machine-dependent: recorded for the record,
+	// only the speedup floor is gated.
+	AnalyticNsPerQuery float64 `json:"analytic_ns_per_query"`
+	DESNsPerRun        int64   `json:"des_ns_per_run"`
+	Speedup            float64 `json:"speedup"`
+	QueriesPerSec      float64 `json:"queries_per_sec"`
+}
+
+// AnalyticFile is the BENCH_analytic.json payload.
+type AnalyticFile struct {
+	Schema  string           `json:"schema"`
+	Results []AnalyticResult `json:"results"`
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_pdes.json", "committed baseline to compare against (and rewrite with -update)")
 	tolerance := flag.Float64("tolerance", defaultTolerance(), "relative wall-time regression that fails the gate (BENCH_TOLERANCE env overrides the default)")
@@ -63,7 +98,12 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "minimum measurement time per (workload, workers) point")
 	repeat := flag.Int("repeat", 3, "measurements per point; the minimum wall time is kept (noise robustness)")
 	out := flag.String("out", "", "also write the fresh measurements to this file")
-	update := flag.Bool("update", false, "rewrite the baseline from the fresh measurements instead of comparing")
+	update := flag.Bool("update", false, "rewrite the baselines from the fresh measurements instead of comparing")
+	analyticBaseline := flag.String("analytic-baseline", "BENCH_analytic.json",
+		"committed analytic fast-path baseline (empty = skip the analytic gate)")
+	analyticOut := flag.String("analytic-out", "", "also write the fresh analytic measurements to this file")
+	minSpeedup := flag.Float64("min-speedup", 1000,
+		"minimum analytic-vs-DES per-query speedup that passes the analytic gate")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -83,11 +123,26 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	var freshA AnalyticFile
+	if *analyticBaseline != "" {
+		freshA = measureAnalytic(*repeat)
+		if *analyticOut != "" {
+			if err := writeAnalyticFile(*analyticOut, freshA); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
 	if *update {
 		if err := writeFile(*baseline, fresh); err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("benchgate: wrote baseline %s (%d results)\n", *baseline, len(fresh.Results))
+		if *analyticBaseline != "" {
+			if err := writeAnalyticFile(*analyticBaseline, freshA); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("benchgate: wrote baseline %s (%d results)\n", *analyticBaseline, len(freshA.Results))
+		}
 		return
 	}
 
@@ -95,7 +150,17 @@ func main() {
 	if err != nil {
 		fatalf("%v (run with -update to create the baseline)", err)
 	}
-	if compare(base, fresh, *tolerance) {
+	ok := compare(base, fresh, *tolerance)
+	if *analyticBaseline != "" {
+		baseA, err := readAnalyticFile(*analyticBaseline)
+		if err != nil {
+			fatalf("%v (run with -update to create the baseline)", err)
+		}
+		if !compareAnalytic(baseA, freshA, *minSpeedup) {
+			ok = false
+		}
+	}
+	if ok {
 		fmt.Println("benchgate: PASS")
 		return
 	}
@@ -172,6 +237,116 @@ func measure(workerCounts []int, repeat int) File {
 		}
 	}
 	return f
+}
+
+// measureAnalytic times every analytic fast-path workload: the query
+// batch with the testing package's benchmark machinery (ns/query needs
+// b.N adaptivity — a batch runs in microseconds), and the single
+// equivalent DES run with a plain min-of-repeat wall clock.
+func measureAnalytic(repeat int) AnalyticFile {
+	f := AnalyticFile{Schema: analyticSchema}
+	for _, bm := range harness.AnalyticBenchmarks() {
+		bm := bm
+		var checksum int64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				checksum = bm.Run()
+			}
+		})
+		nsPerQuery := float64(r.NsPerOp()) / float64(bm.Queries)
+		var desNs int64
+		for k := 0; k < repeat; k++ {
+			t0 := time.Now()
+			bm.DES()
+			if d := time.Since(t0).Nanoseconds(); k == 0 || d < desNs {
+				desNs = d
+			}
+		}
+		res := AnalyticResult{
+			Name: bm.Name, Queries: bm.Queries, ChecksumPs: checksum,
+			AnalyticNsPerQuery: nsPerQuery, DESNsPerRun: desNs,
+		}
+		if nsPerQuery > 0 {
+			res.Speedup = float64(desNs) / nsPerQuery
+			res.QueriesPerSec = 1e9 / nsPerQuery
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %-10s %10.1f ns/query  %12.0f queries/sec  DES %10d ns/run  %8.0fx  (min of %d)\n",
+			bm.Name, nsPerQuery, res.QueriesPerSec, desNs, res.Speedup, repeat)
+		f.Results = append(f.Results, res)
+	}
+	return f
+}
+
+// compareAnalytic renders the analytic gate table and returns whether it
+// passes: every baseline workload must be present, answer exactly the
+// baseline's checksum over exactly its query count (the model
+// fingerprint), and keep the per-query speedup above the floor. Wall
+// times are recorded, not compared — they are machine-dependent.
+func compareAnalytic(base, fresh AnalyticFile, minSpeedup float64) bool {
+	got := map[string]AnalyticResult{}
+	for _, r := range fresh.Results {
+		got[r.Name] = r
+	}
+	ok := true
+	fmt.Printf("\n%-10s %8s %16s %12s %14s %10s  %s\n",
+		"workload", "queries", "checksum (ps)", "ns/query", "queries/sec", "speedup", "verdict")
+	for _, b := range base.Results {
+		c, found := got[b.Name]
+		if !found {
+			fmt.Printf("%-10s %8d %16d %12s %14s %10s  MISSING\n", b.Name, b.Queries, b.ChecksumPs, "-", "-", "-")
+			ok = false
+			continue
+		}
+		verdict := "ok"
+		switch {
+		case c.Queries != b.Queries || c.ChecksumPs != b.ChecksumPs:
+			verdict = fmt.Sprintf("FAIL: answered %d ps over %d queries, baseline pinned %d over %d (model changed? re-baseline with -update)",
+				c.ChecksumPs, c.Queries, b.ChecksumPs, b.Queries)
+			ok = false
+		case c.Speedup < minSpeedup:
+			verdict = fmt.Sprintf("FAIL: %.0fx speedup below the %.0fx floor", c.Speedup, minSpeedup)
+			ok = false
+		}
+		fmt.Printf("%-10s %8d %16d %12.1f %14.0f %9.0fx  %s\n",
+			c.Name, c.Queries, c.ChecksumPs, c.AnalyticNsPerQuery, c.QueriesPerSec, c.Speedup, verdict)
+	}
+	for _, c := range fresh.Results {
+		found := false
+		for _, b := range base.Results {
+			if b.Name == c.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-10s %8d %16d %12.1f %14.0f %9.0fx  not in baseline (add with -update)\n",
+				c.Name, c.Queries, c.ChecksumPs, c.AnalyticNsPerQuery, c.QueriesPerSec, c.Speedup)
+		}
+	}
+	return ok
+}
+
+func readAnalyticFile(path string) (AnalyticFile, error) {
+	var f AnalyticFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %v", path, err)
+	}
+	if f.Schema != analyticSchema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, analyticSchema)
+	}
+	return f, nil
+}
+
+func writeAnalyticFile(path string, f AnalyticFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func readFile(path string) (File, error) {

@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N] [-faults PLAN] [-trace-out FILE]
+//	latency [-torus 8x8x8] [-from 0,0,0] [-to 1,0,0] [-bytes 0] [-sweep] [-workers N] [-faults PLAN] [-trace-out FILE] [-fidelity des|analytic]
 //
 // A fault plan injects seeded, deterministic faults into the measured
 // path, e.g. -faults 'seed=7,corrupt=0.1,retry=50ns' shows the retry
 // cost on the measured link.
+//
+// -fidelity analytic answers from the closed-form fast-path tier
+// (internal/analytic) instead of running the event simulator — exact on
+// every route by the tier's differential contract, and orders of
+// magnitude faster. The analytic tier models a fault-free machine and
+// runs no events, so it refuses -faults and -trace-out.
 //
 // -trace-out writes a chrome://tracing-compatible JSON export of the
 // measured run (open it at chrome://tracing or https://ui.perfetto.dev):
@@ -24,7 +30,9 @@ import (
 	"os"
 	"runtime"
 
+	"anton/internal/analytic"
 	"anton/internal/fault"
+	"anton/internal/harness"
 	"anton/internal/machine"
 	"anton/internal/metrics"
 	"anton/internal/noc"
@@ -33,6 +41,31 @@ import (
 	"anton/internal/sim"
 	"anton/internal/topo"
 )
+
+// fidelityGate validates the -fidelity value against the flags the
+// analytic tier cannot honour: it models a fault-free machine (no fault
+// plans) and runs no events (nothing to trace).
+func fidelityGate(fidelity, faults, traceOut string) (string, error) {
+	f, err := harness.ParseFidelity(fidelity)
+	if err != nil {
+		return "", fmt.Errorf("-fidelity: %v", err)
+	}
+	if f == harness.FidelityAnalytic {
+		if faults != "" {
+			return "", fmt.Errorf("-fidelity analytic models a fault-free machine and refuses fault plans; drop -faults or use -fidelity des")
+		}
+		if traceOut != "" {
+			return "", fmt.Errorf("-fidelity analytic computes the latency in closed form with no event stream to trace; drop -trace-out or use -fidelity des")
+		}
+	}
+	return f, nil
+}
+
+// analyticLatency answers the one-way write latency from the closed-form
+// tier — exact vs the event simulator by the differential contract.
+func analyticLatency(tor topo.Torus, from, to topo.Coord, bytes int) sim.Dur {
+	return analytic.NewAnton(tor).WriteLatency(from, to, bytes)
+}
 
 func parseCoord(s string) (topo.Coord, error) {
 	var x, y, z int
@@ -82,7 +115,16 @@ func main() {
 		"fault plan for the measured machine (e.g. seed=7,corrupt=0.1,retry=50ns)")
 	traceOut := flag.String("trace-out", "",
 		"write a chrome://tracing JSON export of the measured run to this file")
+	fidelityFlag := flag.String("fidelity", harness.FidelityDES,
+		"simulation tier: des (event-driven) or analytic (closed-form fast path)")
 	flag.Parse()
+
+	fidelity, err := fidelityGate(*fidelityFlag, *faultsFlag, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+	analytical := fidelity == harness.FidelityAnalytic
 
 	var plan *fault.Plan
 	if *faultsFlag != "" {
@@ -119,15 +161,28 @@ func main() {
 		// sweep points run concurrently and print in index order.
 		sizes := []int{0, 8, 16, 32, 64, 128, 192, 256}
 		lats := make([]sim.Dur, len(sizes))
-		par.ParFor(par.Workers(*workers), len(sizes), func(i int) {
-			lats[i], _, _ = measure(tor, from, to, sizes[i], *workers, plan, false)
-		})
+		if analytical {
+			for i, b := range sizes {
+				lats[i] = analyticLatency(tor, from, to, b)
+			}
+		} else {
+			par.ParFor(par.Workers(*workers), len(sizes), func(i int) {
+				lats[i], _, _ = measure(tor, from, to, sizes[i], *workers, plan, false)
+			})
+		}
 		for i, b := range sizes {
 			fmt.Printf("%8d %12.1f\n", b, lats[i].Ns())
 		}
 		return
 	}
-	lat, stats, rec := measure(tor, from, to, *bytes, *workers, plan, *traceOut != "")
+	var lat sim.Dur
+	var stats fault.Stats
+	var rec *metrics.Recorder
+	if analytical {
+		lat = analyticLatency(tor, from, to, *bytes)
+	} else {
+		lat, stats, rec = measure(tor, from, to, *bytes, *workers, plan, *traceOut != "")
+	}
 	fmt.Printf("one-way software-to-software latency (%dB payload): %.1f ns\n", *bytes, lat.Ns())
 	if plan != nil {
 		fmt.Printf("faults (plan %v): %v\n", plan, stats)

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFidelityGate pins the -fidelity error paths of the mdsim CLI:
+// unknown tiers are rejected with a clear message, and analytic is
+// refused outright — the trajectory product is inherently event-driven —
+// with a pointer to the experiment that does answer closed-form
+// step-time queries.
+func TestFidelityGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		fidelity string
+		wantErr  string // substring; "" means the gate accepts
+	}{
+		{"des-default", "des", ""},
+		{"unknown-tier", "approximate", `unknown fidelity "approximate"`},
+		{"empty-tier", "", "unknown fidelity"},
+		{"case-sensitive", "Analytic", "unknown fidelity"},
+		{"analytic-refused", "analytic", "step-by-step trajectory"},
+		{"analytic-pointer", "analytic", "antonbench -fidelity analytic fastpath"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := fidelityGate(tc.fidelity)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want accept, got: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

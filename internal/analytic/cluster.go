@@ -1,0 +1,154 @@
+package analytic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"anton/internal/cluster"
+	"anton/internal/sim"
+)
+
+// Cluster answers closed-form queries about the LogGP cluster baseline:
+// N ranks under the calibrated InfiniBand model. All formulas below are
+// exact — they reproduce the event-driven model in internal/cluster to
+// the picosecond, which the differential fuzzer enforces.
+type Cluster struct {
+	Model cluster.Model
+	N     int
+}
+
+// NewCluster returns the analytic model of an n-rank cluster with the
+// calibrated DDR2 InfiniBand parameters.
+func NewCluster(n int) *Cluster {
+	return &Cluster{Model: cluster.DDR2InfiniBand(), N: n}
+}
+
+// sendService is the NIC injection occupancy of one message: the LogGP
+// gap or the serialization time, whichever binds.
+func (c *Cluster) sendService(bytes int) sim.Dur {
+	s := c.Model.Gap
+	if bw := sim.Dur(bytes) * c.Model.PsPerByte; bw > s {
+		s = bw
+	}
+	return s
+}
+
+// Ping returns the one-way software-to-software latency of a single
+// message: send overhead, wire latency, serialization, receive overhead.
+func (c *Cluster) Ping(bytes int) sim.Dur {
+	m := c.Model
+	return m.SendOverhead + m.Latency + sim.Dur(bytes)*m.PsPerByte + m.RecvOverhead
+}
+
+// ManyMessages returns the completion time of moving totalBytes between
+// two ranks split into count equal messages — the InfiniBand side of the
+// Figure 7 measurement. Messages are paced at the NIC by the per-message
+// service; the receiving CPU pays its overhead per message, queueing
+// when arrivals outpace it.
+func (c *Cluster) ManyMessages(totalBytes, count int) sim.Dur {
+	m := c.Model
+	per := totalBytes / count
+	var nicFree, cpuFree, last sim.Time
+	for i := 0; i < count; i++ {
+		bytes := per
+		if i == count-1 {
+			bytes = totalBytes - per*(count-1)
+		}
+		start := nicFree
+		nicFree = start.Add(c.sendService(bytes))
+		arrive := start.Add(m.SendOverhead + m.Latency + sim.Dur(bytes)*m.PsPerByte)
+		s := arrive
+		if cpuFree > s {
+			s = cpuFree
+		}
+		cpuFree = s.Add(m.RecvOverhead)
+		if cpuFree > last {
+			last = cpuFree
+		}
+	}
+	return last.Sub(0)
+}
+
+// AllReduce returns the completion time of the recursive-doubling
+// all-reduce across all ranks: log2(N) rounds, each one ping plus the
+// per-round collective software overhead. N must be a power of two,
+// matching the event model's precondition.
+func (c *Cluster) AllReduce(bytes int) (sim.Dur, error) {
+	if c.N <= 0 || c.N&(c.N-1) != 0 {
+		return 0, fmt.Errorf("analytic: all-reduce requires power-of-two rank count, got %d", c.N)
+	}
+	rounds := sim.Dur(bits.TrailingZeros(uint(c.N)))
+	return rounds * (c.Ping(bytes) + c.Model.CollectiveOverhead), nil
+}
+
+// StagedNeighborExchange returns the completion time of the three-stage
+// neighbour exchange of Figure 8a: per stage, each rank injects two
+// messages (NIC-paced), waits for its two incoming messages, and pays
+// the inter-stage marshalling cost. The second arrival lands one NIC
+// service after the first, so the stage critical path is one service,
+// one ping, and the marshal.
+func (c *Cluster) StagedNeighborExchange(bytesPerMsg int) sim.Dur {
+	const stages = 3
+	stage := c.sendService(bytesPerMsg) + c.Ping(bytesPerMsg) + c.Model.MarshalPerStage
+	return stages * stage
+}
+
+// GroupAllToAll returns the completion time of one transpose round of
+// the FFT: every rank exchanges one message with each other rank of its
+// size-g group (groups run concurrently on disjoint resources). Rank j
+// of a group receives i := j messages injected at position j-1 and
+// g-1-j injected at position j, so its CPU serves a batch of j
+// simultaneous arrivals and then the remainder; the completion is the
+// worst rank's last delivery.
+func (c *Cluster) GroupAllToAll(g, bytes int) sim.Dur {
+	if g > c.N {
+		g = c.N
+	}
+	if g < 2 {
+		return 0
+	}
+	m := c.Model
+	s := c.sendService(bytes)
+	wire := m.SendOverhead + m.Latency + sim.Dur(bytes)*m.PsPerByte
+	var worst sim.Time
+	for j := 0; j < g; j++ {
+		early := j        // messages from lower-ranked peers
+		late := g - 1 - j // messages from higher-ranked peers
+		var cpuFree sim.Time
+		var last sim.Time
+		if early > 0 {
+			a1 := sim.Time(0).Add(sim.Dur(j-1)*s + wire)
+			cpuFree = a1.Add(sim.Dur(early) * m.RecvOverhead)
+			last = cpuFree
+		}
+		if late > 0 {
+			a2 := sim.Time(0).Add(sim.Dur(j)*s + wire)
+			start := a2
+			if cpuFree > start {
+				start = cpuFree
+			}
+			last = start.Add(sim.Dur(late) * m.RecvOverhead)
+		}
+		if last > worst {
+			worst = last
+		}
+	}
+	return worst.Sub(0)
+}
+
+// DesmondPhases returns the Table 3 Desmond communication-phase times in
+// closed form, using the same calibrated parameters as the event model
+// (cluster.DesmondDefaults).
+func (c *Cluster) DesmondPhases() (cluster.PhaseTimes, error) {
+	d := cluster.DesmondDefaults()
+	var pt cluster.PhaseTimes
+	pt.RangeLimitedComm = c.StagedNeighborExchange(d.PosBytes) + c.StagedNeighborExchange(d.ForceBytes)
+	pt.FFTComm = sim.Dur(d.FFTRounds) * (c.GroupAllToAll(d.FFTGroup, d.FFTBytes) + c.Model.MarshalPerStage)
+	ar, err := c.AllReduce(32)
+	if err != nil {
+		return pt, err
+	}
+	pt.ThermostatComm = 2*ar + d.ThermoSoftware
+	pt.LongRangeComm = pt.RangeLimitedComm + pt.FFTComm + pt.ThermostatComm
+	return pt, nil
+}

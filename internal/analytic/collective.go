@@ -1,0 +1,120 @@
+package analytic
+
+import (
+	"sort"
+
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// CollectiveConfig parameterizes an analytic all-reduce query. It
+// mirrors collective.Config's timing-relevant fields (the counter and
+// multicast bookkeeping of the event model has no latency effect).
+type CollectiveConfig struct {
+	// Bytes is the wire payload per packet (0 for a pure barrier).
+	Bytes int
+	// Values is the logical vector length being reduced.
+	Values int
+	// PerValueAdd is the software cost of adding one contribution of one
+	// value during the redundant sum.
+	PerValueAdd sim.Dur
+	// RoundOverhead is the fixed software turnaround between receiving a
+	// round's data and injecting the next round's packets.
+	RoundOverhead sim.Dur
+}
+
+// AllReduce returns the completion time of the dimension-ordered global
+// all-reduce (paper Section IV.B.4): three ring all-reduce rounds (X,
+// then Y, then Z) built from multicast counted remote writes, plus the
+// final local share from slice 2 to the other three slices.
+//
+// Every node is symmetric, so one node's timeline is the machine's. Per
+// round, the ring-broadcast convoy recurrence below reproduces the link
+// and receive-port head-of-line blocking of the event model exactly.
+func (a *Anton) AllReduce(cfg CollectiveConfig) sim.Dur {
+	m := &a.Model
+	wire := WireBytes(cfg.Bytes)
+	var t sim.Time
+	for d := topo.X; d < topo.NumDims; d++ {
+		n := a.Torus.Size(d)
+		if n > 1 {
+			t = a.ringRoundEnd(t, d, n, wire)
+		}
+		cost := cfg.RoundOverhead + sim.Dur(cfg.Values*n)*cfg.PerValueAdd
+		t = t.Add(cost)
+	}
+	// Share: slice 2 writes the global sum locally to the other three
+	// slices, gap-paced; completion is the third delivery.
+	gap := m.SendGap(packet.Slice2)
+	t = t.Add(2*gap + m.SendLatency(packet.Slice2) + m.LocalRing + m.DeliverLatency(packet.Slice0))
+	return t.Sub(0)
+}
+
+// ringRoundEnd returns the instant a round-d ring all-reduce starting at
+// t has delivered all n-1 peer contributions to (any) node's receiving
+// slice: the counter-fire instant the event model's Wait observes.
+//
+// Each node multicasts one packet along its dimension-d ring: an arm of
+// ceil((n-1)/2) nodes in the + direction and the remainder in the -
+// direction. By symmetry every + link of the ring carries exactly one
+// packet per upstream root of the + arm, with identical absolute
+// schedules on every link, so a single per-hop recurrence yields the
+// delivery times of all arrivals at a fixed observer node.
+func (a *Anton) ringRoundEnd(t sim.Time, d topo.Dim, n, wire int) sim.Time {
+	m := &a.Model
+	plus := n / 2
+	minus := n - 1 - plus
+
+	// armAvails returns the receive-port arrival instants at the observer
+	// from roots 1..arm hops away in one direction.
+	armAvails := func(arm int) []sim.Time {
+		if arm == 0 {
+			return nil
+		}
+		svc := m.LinkService(wire)
+		avails := make([]sim.Time, 0, arm)
+		head := t.Add(m.SendLatency(packet.Slice0) + m.SrcRing)
+		var linkFree sim.Time
+		for j := 0; j < arm; j++ {
+			s := head
+			if linkFree > s {
+				s = linkFree
+			}
+			linkFree = s.Add(svc)
+			arrival := s.Add(m.AdapterPair[d])
+			avails = append(avails, arrival.Add(m.ExtraSerialization(wire)+m.DstRing))
+			head = arrival.Add(m.Through[d])
+		}
+		return avails
+	}
+
+	arrivals := append(armAvails(plus), armAvails(minus)...)
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+
+	// Receive-port service at the round's destination slice, granted in
+	// arrival order; the round completes at the last delivery commit.
+	svc := m.ClientService(packet.Slice0, wire)
+	var free, last sim.Time
+	for _, at := range arrivals {
+		s := at
+		if free > s {
+			s = free
+		}
+		free = s.Add(svc)
+		last = s.Add(m.DeliverLatency(packet.Slice0))
+	}
+	return last
+}
+
+// DefaultCollective returns the analytic counterpart of
+// collective.DefaultConfig; callers that have a collective.Config should
+// convert it instead so the constants stay single-sourced.
+func DefaultCollective(bytes int, perValueAdd, roundOverhead sim.Dur) CollectiveConfig {
+	return CollectiveConfig{
+		Bytes:         bytes,
+		Values:        bytes / 4,
+		PerValueAdd:   perValueAdd,
+		RoundOverhead: roundOverhead,
+	}
+}

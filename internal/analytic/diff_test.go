@@ -1,0 +1,246 @@
+package analytic_test
+
+import (
+	"fmt"
+	"testing"
+
+	"anton/internal/analytic"
+	"anton/internal/cluster"
+	"anton/internal/collective"
+	"anton/internal/machine"
+	"anton/internal/noc"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// desWrite measures a single counted remote write on a fresh event-driven
+// machine: the DES ground truth for PointToPoint.
+func desWrite(tor topo.Torus, src, dst topo.Coord, payload int) sim.Dur {
+	s := sim.New()
+	m := machine.New(s, tor, noc.DefaultModel())
+	a := packet.Client{Node: tor.ID(src), Kind: packet.Slice0}
+	b := packet.Client{Node: tor.ID(dst), Kind: packet.Slice0}
+	var done sim.Time
+	m.Client(b).Wait(9, 1, func() { done = s.Now() })
+	m.Client(a).Write(b, 9, 0, payload)
+	s.Run()
+	return sim.Dur(done)
+}
+
+// desStream measures a pipelined train of writes: the DES ground truth
+// for Stream.
+func desStream(tor topo.Torus, src, dst topo.Coord, payloads []int) sim.Dur {
+	s := sim.New()
+	m := machine.New(s, tor, noc.DefaultModel())
+	a := m.Client(packet.Client{Node: tor.ID(src), Kind: packet.Slice0})
+	b := packet.Client{Node: tor.ID(dst), Kind: packet.Slice0}
+	var done sim.Time
+	m.Client(b).Wait(3, uint64(len(payloads)), func() { done = s.Now() })
+	for i, p := range payloads {
+		a.Write(b, 3, i*64, p)
+	}
+	s.Run()
+	return sim.Dur(done)
+}
+
+// desAllReduce measures the dimension-ordered all-reduce on a fresh
+// machine: the DES ground truth for Anton.AllReduce.
+func desAllReduce(tor topo.Torus, bytes int) sim.Dur {
+	s := sim.New()
+	m := machine.New(s, tor, noc.DefaultModel())
+	ar := collective.NewAllReduce(m, collective.DefaultConfig(bytes))
+	var done sim.Time
+	ar.Run(nil, func(at sim.Time) { done = at })
+	s.Run()
+	return sim.Dur(done)
+}
+
+func analyticCollective(bytes int) analytic.CollectiveConfig {
+	c := collective.DefaultConfig(bytes)
+	return analytic.CollectiveConfig{
+		Bytes: c.Bytes, Values: c.Values,
+		PerValueAdd: c.PerValueAdd, RoundOverhead: c.RoundOverhead,
+	}
+}
+
+func TestPointToPointMatchesDES(t *testing.T) {
+	tori := []topo.Torus{topo.NewTorus(8, 8, 8), topo.NewTorus(4, 4, 4), topo.NewTorus(2, 4, 8), topo.NewTorus(3, 5, 2)}
+	for _, tor := range tori {
+		a := analytic.NewAnton(tor)
+		cases := []struct {
+			src, dst topo.Coord
+			payload  int
+		}{
+			{topo.C(0, 0, 0), topo.C(1, 0, 0), 0},
+			{topo.C(0, 0, 0), topo.C(1, 0, 0), 256},
+			{topo.C(0, 0, 0), topo.C(0, 0, 0), 0},
+			{topo.C(0, 0, 0), topo.C(0, 1, 1), 8},
+			{topo.C(1, 2, 1), topo.C(0, 0, 0), 100},
+			{topo.C(0, 0, 0), a.DiameterCoord(), 256},
+			{topo.C(1, 1, 1), topo.C(0, 3, 1), 33},
+		}
+		for _, tc := range cases {
+			tc.src, tc.dst = tor.Wrap(tc.src), tor.Wrap(tc.dst)
+			want := desWrite(tor, tc.src, tc.dst, tc.payload)
+			got := a.WriteLatency(tc.src, tc.dst, tc.payload)
+			if got != want {
+				t.Errorf("%v %v->%v %dB: analytic %v, DES %v", tor, tc.src, tc.dst, tc.payload, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamMatchesDES(t *testing.T) {
+	tor := topo.NewTorus(8, 8, 8)
+	a := analytic.NewAnton(tor)
+	cases := []struct {
+		dst      topo.Coord
+		payloads []int
+	}{
+		{topo.C(1, 0, 0), []int{256, 256, 256, 256, 256, 256, 256, 256}},
+		{topo.C(4, 0, 0), []int{256, 256, 256, 256}},
+		{topo.C(1, 1, 0), []int{85, 85, 85, 85, 85, 93}},
+		{topo.C(0, 0, 0), []int{64, 64, 64}},
+		{topo.C(2, 3, 1), []int{0, 8, 16, 256, 4, 128}},
+		{topo.C(1, 0, 0), []int{32}},
+	}
+	for _, tc := range cases {
+		want := desStream(tor, topo.C(0, 0, 0), tc.dst, tc.payloads)
+		got := a.Stream(topo.C(0, 0, 0), tc.dst, tc.payloads)
+		if got != want {
+			t.Errorf("stream ->%v %v: analytic %v, DES %v", tc.dst, tc.payloads, got, want)
+		}
+	}
+	// Figure 7 message-count sweep at 1 and 4 hops.
+	for _, hops := range []int{1, 4} {
+		for _, count := range []int{1, 2, 8, 24, 64} {
+			want := desStreamTransfer(tor, hops, 2048, count)
+			got := a.Transfer(topo.C(0, 0, 0), topo.C(hops, 0, 0), 2048, count)
+			if got != want {
+				t.Errorf("transfer %d hops %d msgs: analytic %v, DES %v", hops, count, got, want)
+			}
+		}
+	}
+}
+
+// desStreamTransfer mirrors the harness antonTransfer workload.
+func desStreamTransfer(tor topo.Torus, hops, totalBytes, count int) sim.Dur {
+	per := totalBytes / count
+	var payloads []int
+	add := func(bytes int) {
+		for bytes > 0 {
+			chunk := bytes
+			if chunk > packet.MaxPayloadBytes {
+				chunk = packet.MaxPayloadBytes
+			}
+			payloads = append(payloads, chunk)
+			bytes -= chunk
+		}
+	}
+	for i := 0; i < count; i++ {
+		bytes := per
+		if i == count-1 {
+			bytes = totalBytes - per*(count-1)
+		}
+		add(bytes)
+	}
+	return desStream(tor, topo.C(0, 0, 0), topo.C(hops, 0, 0), payloads)
+}
+
+func TestAllReduceMatchesDES(t *testing.T) {
+	tori := []topo.Torus{
+		topo.NewTorus(8, 8, 8), topo.NewTorus(4, 4, 4), topo.NewTorus(8, 2, 8),
+		topo.NewTorus(8, 8, 4), topo.NewTorus(2, 2, 2), topo.NewTorus(1, 1, 1),
+		topo.NewTorus(3, 1, 5), topo.NewTorus(8, 8, 16),
+	}
+	for _, tor := range tori {
+		for _, bytes := range []int{0, 32, 256} {
+			want := desAllReduce(tor, bytes)
+			got := analytic.NewAnton(tor).AllReduce(analyticCollective(bytes))
+			if got != want {
+				t.Errorf("%v all-reduce %dB: analytic %v, DES %v", tor, bytes, got, want)
+			}
+		}
+	}
+}
+
+func TestClusterMatchesDES(t *testing.T) {
+	model := cluster.DDR2InfiniBand()
+
+	t.Run("ping", func(t *testing.T) {
+		for _, bytes := range []int{0, 32, 2048} {
+			s := sim.New()
+			c := cluster.New(s, 2, model)
+			var done sim.Time
+			c.Send(0, 1, bytes, func(at sim.Time) { done = at })
+			s.Run()
+			if got, want := analytic.NewCluster(2).Ping(bytes), sim.Dur(done); got != want {
+				t.Errorf("ping %dB: analytic %v, DES %v", bytes, got, want)
+			}
+		}
+	})
+
+	t.Run("many-messages", func(t *testing.T) {
+		for _, count := range []int{1, 2, 4, 16, 24, 64} {
+			s := sim.New()
+			c := cluster.New(s, 2, model)
+			var done sim.Time
+			c.TransferManyMessages(0, 1, 2048, count, func(at sim.Time) { done = at })
+			s.Run()
+			if got, want := analytic.NewCluster(2).ManyMessages(2048, count), sim.Dur(done); got != want {
+				t.Errorf("2KB in %d msgs: analytic %v, DES %v", count, got, want)
+			}
+		}
+	})
+
+	t.Run("all-reduce", func(t *testing.T) {
+		for _, n := range []int{2, 16, 64, 512} {
+			s := sim.New()
+			c := cluster.New(s, n, model)
+			var done sim.Time
+			c.AllReduce(32, func(at sim.Time) { done = at })
+			s.Run()
+			got, err := analytic.NewCluster(n).AllReduce(32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := sim.Dur(done); got != want {
+				t.Errorf("%d-rank all-reduce: analytic %v, DES %v", n, got, want)
+			}
+		}
+		if _, err := analytic.NewCluster(48).AllReduce(32); err == nil {
+			t.Error("48-rank all-reduce: want power-of-two error, got nil")
+		}
+	})
+
+	t.Run("staged-exchange", func(t *testing.T) {
+		for _, bytes := range []int{64, 2200} {
+			s := sim.New()
+			c := cluster.New(s, 512, model)
+			var done sim.Time
+			c.StagedNeighborExchange(bytes, func(at sim.Time) { done = at })
+			s.Run()
+			if got, want := analytic.NewCluster(512).StagedNeighborExchange(bytes), sim.Dur(done); got != want {
+				t.Errorf("staged %dB: analytic %v, DES %v", bytes, got, want)
+			}
+		}
+	})
+
+	t.Run("desmond-phases", func(t *testing.T) {
+		want := cluster.Measure(512, model)
+		got, err := analytic.NewCluster(512).DesmondPhases()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Desmond phases: analytic %+v, DES %+v", got, want)
+		}
+	})
+}
+
+func ExampleAnton_Diameter() {
+	a := analytic.NewAnton(topo.NewTorus(8, 8, 8))
+	fmt.Println(a.Diameter(0))
+	// Output: 822.000ns
+}

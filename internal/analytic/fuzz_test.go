@@ -1,0 +1,108 @@
+package analytic_test
+
+import (
+	"testing"
+
+	"anton/internal/analytic"
+	"anton/internal/cluster"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// fuzzTorus maps a selector to a small torus (kept small so each fuzz
+// iteration's DES reference run is fast).
+func fuzzTorus(sel uint8) topo.Torus {
+	switch sel % 6 {
+	case 0:
+		return topo.NewTorus(2, 2, 2)
+	case 1:
+		return topo.NewTorus(4, 4, 4)
+	case 2:
+		return topo.NewTorus(1, 1, 1)
+	case 3:
+		return topo.NewTorus(3, 1, 5)
+	case 4:
+		return topo.NewTorus(2, 4, 8)
+	default:
+		return topo.NewTorus(4, 2, 1)
+	}
+}
+
+// FuzzAnalyticVsDES is the fast-path differential fuzz target: for
+// random topologies, routes, payload trains, collective shapes, and
+// cluster transfers, the closed-form tier must agree with the
+// event-driven simulator exactly (the network queries' documented bound
+// is zero error). Any divergence is a bug in one of the two tiers.
+func FuzzAnalyticVsDES(f *testing.F) {
+	// Seed corpus: each query class on each topology class, plus payload
+	// and count edge cases. ci.sh replays the checked-in corpus as
+	// regular tests.
+	f.Add(uint64(1), uint8(0), uint8(0), uint16(0), uint8(1))
+	f.Add(uint64(2), uint8(1), uint8(0), uint16(256), uint8(1))
+	f.Add(uint64(3), uint8(2), uint8(1), uint16(64), uint8(8))
+	f.Add(uint64(4), uint8(3), uint8(1), uint16(8), uint8(24))
+	f.Add(uint64(5), uint8(4), uint8(2), uint16(32), uint8(0))
+	f.Add(uint64(6), uint8(5), uint8(2), uint16(256), uint8(3))
+	f.Add(uint64(7), uint8(0), uint8(3), uint16(2048), uint8(16))
+	f.Add(uint64(8), uint8(1), uint8(4), uint16(2200), uint8(64))
+	f.Fuzz(func(t *testing.T, seed uint64, topoSel, querySel uint8, payload uint16, count uint8) {
+		tor := fuzzTorus(topoSel)
+		a := analytic.NewAnton(tor)
+		pick := func(mod uint64) int { // cheap deterministic splitter
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return int((seed >> 33) % mod)
+		}
+		coord := func() topo.Coord {
+			return topo.C(pick(uint64(tor.DimX)), pick(uint64(tor.DimY)), pick(uint64(tor.DimZ)))
+		}
+		switch querySel % 5 {
+		case 0: // single counted remote write
+			src, dst := coord(), coord()
+			bytes := int(payload) % (packet.MaxPayloadBytes + 1)
+			want := desWrite(tor, src, dst, bytes)
+			if got := a.WriteLatency(src, dst, bytes); got != want {
+				t.Fatalf("write %v->%v %dB on %v: analytic %v, DES %v", src, dst, bytes, tor, got, want)
+			}
+		case 1: // pipelined packet train
+			src, dst := coord(), coord()
+			n := int(count)%24 + 1
+			payloads := make([]int, n)
+			for i := range payloads {
+				payloads[i] = (int(payload) + i*pick(97)) % (packet.MaxPayloadBytes + 1)
+			}
+			want := desStream(tor, src, dst, payloads)
+			if got := a.Stream(src, dst, payloads); got != want {
+				t.Fatalf("stream %v->%v %v on %v: analytic %v, DES %v", src, dst, payloads, tor, got, want)
+			}
+		case 2: // dimension-ordered global all-reduce
+			bytes := int(payload) % (packet.MaxPayloadBytes + 1)
+			bytes -= bytes % 4 // the reduction operates on 4-byte values
+			want := desAllReduce(tor, bytes)
+			if got := a.AllReduce(analyticCollective(bytes)); got != want {
+				t.Fatalf("all-reduce %dB on %v: analytic %v, DES %v", bytes, tor, got, want)
+			}
+		case 3: // cluster many-message transfer
+			total := int(payload) + 1
+			n := int(count)%32 + 1
+			s := sim.New()
+			c := cluster.New(s, 2, cluster.DDR2InfiniBand())
+			var done sim.Time
+			c.TransferManyMessages(0, 1, total, n, func(at sim.Time) { done = at })
+			s.Run()
+			if got, want := analytic.NewCluster(2).ManyMessages(total, n), sim.Dur(done); got != want {
+				t.Fatalf("cluster %dB in %d msgs: analytic %v, DES %v", total, n, got, want)
+			}
+		default: // cluster staged neighbour exchange
+			bytes := int(payload)
+			s := sim.New()
+			c := cluster.New(s, 8, cluster.DDR2InfiniBand())
+			var done sim.Time
+			c.StagedNeighborExchange(bytes, func(at sim.Time) { done = at })
+			s.Run()
+			if got, want := analytic.NewCluster(8).StagedNeighborExchange(bytes), sim.Dur(done); got != want {
+				t.Fatalf("staged exchange %dB: analytic %v, DES %v", bytes, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package analytic_test
+
+import (
+	"testing"
+
+	"anton/internal/analytic"
+	"anton/internal/packet"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// TestFigure6RoutesExact pins the analytic tier to the calibrated
+// Figure 6 values on the eleven routes the observability layer
+// cross-validates (internal/metrics), including the paper's 162 ns
+// headline number. The values are picosecond-exact.
+func TestFigure6RoutesExact(t *testing.T) {
+	a := analytic.NewAnton(topo.NewTorus(8, 8, 8))
+	routes := []struct {
+		dst   topo.Coord
+		bytes int
+		want  sim.Dur
+	}{
+		{topo.C(1, 0, 0), 0, 162000 * sim.Ps}, // the headline 162 ns
+		{topo.C(1, 0, 0), 256, 211408 * sim.Ps},
+		{topo.C(2, 0, 0), 0, 238000 * sim.Ps},
+		{topo.C(1, 1, 0), 0, 216000 * sim.Ps},
+		{topo.C(1, 1, 0), 256, 265408 * sim.Ps},
+		{topo.C(0, 0, 3), 0, 270000 * sim.Ps},
+		{topo.C(1, 1, 1), 0, 270000 * sim.Ps},
+		{topo.C(1, 1, 1), 256, 319408 * sim.Ps},
+		{topo.C(4, 4, 4), 256, 871408 * sim.Ps},
+		{topo.C(0, 0, 0), 0, 104000 * sim.Ps}, // node-local write
+		{topo.C(0, 0, 0), 256, 104000 * sim.Ps},
+	}
+	for _, r := range routes {
+		if got := a.WriteLatency(topo.C(0, 0, 0), r.dst, r.bytes); got != r.want {
+			t.Errorf("->%v %dB: got %v, want %v", r.dst, r.bytes, got, r.want)
+		}
+	}
+}
+
+// TestLatencyMonotoneInHops: adding a hop in any dimension (within the
+// minimal-route hemisphere) strictly increases the point-to-point
+// latency.
+func TestLatencyMonotoneInHops(t *testing.T) {
+	a := analytic.NewAnton(topo.NewTorus(8, 8, 8))
+	origin := topo.C(0, 0, 0)
+	for _, bytes := range []int{0, 256} {
+		for x := 0; x <= 4; x++ {
+			for y := 0; y <= 4; y++ {
+				for z := 0; z <= 4; z++ {
+					base := a.WriteLatency(origin, topo.C(x, y, z), bytes)
+					for _, next := range []topo.Coord{
+						topo.C(x+1, y, z), topo.C(x, y+1, z), topo.C(x, y, z+1),
+					} {
+						if next.X > 4 || next.Y > 4 || next.Z > 4 {
+							continue // past the hemisphere: hop count would wrap
+						}
+						if got := a.WriteLatency(origin, next, bytes); got <= base {
+							t.Fatalf("%dB ->%v (%v) not above ->%v (%v)",
+								bytes, next, got, topo.C(x, y, z), base)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLatencyMonotoneInPayload: latency is non-decreasing in payload
+// size, flat across the inline-payload range (payloads up to
+// packet.InlineBytes ride in the header), and strictly increasing once
+// the payload is on the wire.
+func TestLatencyMonotoneInPayload(t *testing.T) {
+	a := analytic.NewAnton(topo.NewTorus(8, 8, 8))
+	origin := topo.C(0, 0, 0)
+	for _, dst := range []topo.Coord{topo.C(1, 0, 0), topo.C(2, 3, 1), topo.C(4, 4, 4)} {
+		prev := sim.Dur(-1)
+		for p := 0; p <= packet.MaxPayloadBytes; p += 4 {
+			got := a.WriteLatency(origin, dst, p)
+			if got < prev {
+				t.Fatalf("->%v: latency decreased from %v to %v at %dB", dst, prev, got, p)
+			}
+			if p > packet.InlineBytes+4 && got == prev {
+				t.Fatalf("->%v: latency flat at %dB despite wire payload growth", dst, p)
+			}
+			prev = got
+		}
+		if a.WriteLatency(origin, dst, packet.InlineBytes) != a.WriteLatency(origin, dst, 0) {
+			t.Errorf("->%v: inline payload (%dB) should cost the same as empty", dst, packet.InlineBytes)
+		}
+	}
+}
+
+// TestLatencySymmetric: swapping source and destination leaves the
+// latency unchanged (minimal dimension-ordered routes have the same
+// per-dimension hop counts in both directions).
+func TestLatencySymmetric(t *testing.T) {
+	for _, tor := range []topo.Torus{topo.NewTorus(8, 8, 8), topo.NewTorus(3, 5, 2)} {
+		a := analytic.NewAnton(tor)
+		coords := []topo.Coord{
+			topo.C(0, 0, 0), topo.C(1, 0, 0), topo.C(2, 4, 1),
+			topo.C(1, 1, 1), topo.C(2, 3, 1), topo.C(0, 2, 0),
+		}
+		for _, src := range coords {
+			for _, dst := range coords {
+				src, dst := tor.Wrap(src), tor.Wrap(dst)
+				for _, bytes := range []int{0, 64, 256} {
+					fwd := a.WriteLatency(src, dst, bytes)
+					rev := a.WriteLatency(dst, src, bytes)
+					if fwd != rev {
+						t.Errorf("%v: %v<->%v %dB asymmetric: %v vs %v", tor, src, dst, bytes, fwd, rev)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiameterIsMaxOverAllRoutes: Diameter equals the exhaustive maximum
+// of the point-to-point latency over every destination in the torus.
+func TestDiameterIsMaxOverAllRoutes(t *testing.T) {
+	for _, tor := range []topo.Torus{topo.NewTorus(8, 8, 8), topo.NewTorus(4, 4, 4), topo.NewTorus(3, 5, 2)} {
+		a := analytic.NewAnton(tor)
+		for _, bytes := range []int{0, 256} {
+			var max sim.Dur
+			var argmax topo.Coord
+			tor.ForEach(func(c topo.Coord) {
+				if lat := a.WriteLatency(topo.C(0, 0, 0), c, bytes); lat > max {
+					max, argmax = lat, c
+				}
+			})
+			if got := a.Diameter(bytes); got != max {
+				t.Errorf("%v %dB: Diameter %v, exhaustive max %v at %v", tor, bytes, got, max, argmax)
+			}
+		}
+	}
+}
+
+// TestSerializationAdditive: the payload-serialization cost of a route
+// with at least one hop is independent of the route — latency(p) -
+// latency(0) is the same constant for every remote destination.
+func TestSerializationAdditive(t *testing.T) {
+	a := analytic.NewAnton(topo.NewTorus(8, 8, 8))
+	origin := topo.C(0, 0, 0)
+	dsts := []topo.Coord{topo.C(1, 0, 0), topo.C(3, 0, 0), topo.C(1, 1, 1), topo.C(4, 4, 4)}
+	for _, bytes := range []int{16, 64, 256} {
+		delta := a.WriteLatency(origin, dsts[0], bytes) - a.WriteLatency(origin, dsts[0], 0)
+		for _, dst := range dsts[1:] {
+			got := a.WriteLatency(origin, dst, bytes) - a.WriteLatency(origin, dst, 0)
+			if got != delta {
+				t.Errorf("->%v %dB: serialization delta %v, want %v", dst, bytes, got, delta)
+			}
+		}
+	}
+}
+
+// TestValidatePayload pins the payload-validation error path.
+func TestValidatePayload(t *testing.T) {
+	if err := analytic.ValidatePayload(-1); err == nil {
+		t.Error("negative payload accepted")
+	}
+	if err := analytic.ValidatePayload(packet.MaxPayloadBytes + 1); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if err := analytic.ValidatePayload(packet.MaxPayloadBytes); err != nil {
+		t.Errorf("max payload rejected: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package analytic_test
+
+import (
+	"testing"
+
+	"anton/internal/analytic"
+	"anton/internal/machine"
+	"anton/internal/mdmap"
+	"anton/internal/noc"
+	"anton/internal/sim"
+	"anton/internal/topo"
+)
+
+// desStepTimes runs four DES steps (two of each kind) and returns the
+// steady-state total per kind — the ground truth for StepModel.
+func desStepTimes(tor topo.Torus, cfg mdmap.Config, atoms int) map[mdmap.StepKind]sim.Dur {
+	s := sim.New()
+	m := machine.New(s, tor, noc.DefaultModel())
+	cfg.Atoms = atoms
+	mp := mdmap.New(s, m, cfg)
+	out := make(map[mdmap.StepKind]sim.Dur)
+	for i := 0; i < 4; i++ {
+		st := mp.RunStep()
+		out[st.Kind] = st.Total
+	}
+	return out
+}
+
+// TestStepModelWithinBound calibrates the step model on a small torus and
+// checks the documented error-bound contract: exact at the two reference
+// atom counts, within 5% of the DES at interior points of the bracket.
+func TestStepModelWithinBound(t *testing.T) {
+	tor := topo.NewTorus(4, 4, 4)
+	cfg := mdmap.DefaultConfig()
+	cfg.MigrationInterval = 0
+	const lo, hi = 2500, 6000
+	sm, err := analytic.CalibrateStep(tor, cfg, lo, hi, analytic.StepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interior := []int{3000, 4000, 5000}
+	if testing.Short() {
+		interior = []int{4000}
+	}
+	check := func(atoms int, bound float64) {
+		want := desStepTimes(tor, cfg, atoms)
+		for _, kind := range []mdmap.StepKind{mdmap.RangeLimited, mdmap.LongRange} {
+			got, err := sm.StepTime(kind, atoms)
+			if err != nil {
+				t.Fatalf("%d atoms %v: %v", atoms, kind, err)
+			}
+			rel := float64(got-want[kind]) / float64(want[kind])
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > bound {
+				t.Errorf("%d atoms %v: model %v, DES %v (%.2f%% > %.1f%% bound)",
+					atoms, kind, got, want[kind], rel*100, bound*100)
+			}
+		}
+	}
+	// Exact (zero error) at the calibration references by construction.
+	check(lo, 0)
+	check(hi, 0)
+	for _, atoms := range interior {
+		check(atoms, 0.05)
+	}
+
+	if sm.LinkStats.AnchorRatio <= 0 {
+		t.Errorf("anchor ratio %v: link-occupancy feed missing", sm.LinkStats.AnchorRatio)
+	}
+	if sm.LinkStats.MeasuredBytesPerStep <= 0 {
+		t.Errorf("measured link bytes per step %v: metrics feed missing", sm.LinkStats.MeasuredBytesPerStep)
+	}
+	if sm.LinkStats.PeakLinkUtilization <= 0 || sm.LinkStats.PeakLinkUtilization > 1 {
+		t.Errorf("peak link utilization %v outside (0, 1]", sm.LinkStats.PeakLinkUtilization)
+	}
+}
+
+// TestStepModelRefusals pins the step model's error paths: configurations
+// and queries outside the closed-form tier's validity domain are refused,
+// not approximated.
+func TestStepModelRefusals(t *testing.T) {
+	tor := topo.NewTorus(2, 2, 2)
+	base := mdmap.DefaultConfig()
+	base.MigrationInterval = 0
+
+	t.Run("migration", func(t *testing.T) {
+		cfg := base
+		cfg.MigrationInterval = 8
+		if _, err := analytic.CalibrateStep(tor, cfg, 300, 600, analytic.StepOptions{}); err == nil {
+			t.Error("migration-enabled config: want refusal, got model")
+		}
+	})
+	t.Run("inverted-bracket", func(t *testing.T) {
+		if _, err := analytic.CalibrateStep(tor, base, 600, 300, analytic.StepOptions{}); err == nil {
+			t.Error("inverted bracket: want error, got model")
+		}
+	})
+	t.Run("no-long-range", func(t *testing.T) {
+		cfg := base
+		cfg.LongRangeInterval = -1
+		if _, err := analytic.CalibrateStep(tor, cfg, 300, 600, analytic.StepOptions{}); err == nil {
+			t.Error("LongRangeInterval<1: want error, got model")
+		}
+	})
+
+	sm, err := analytic.CalibrateStep(tor, base, 300, 600, analytic.StepOptions{Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("outside-bracket", func(t *testing.T) {
+		if _, err := sm.StepTime(mdmap.RangeLimited, 200); err == nil {
+			t.Error("query below bracket: want refusal")
+		}
+		if _, err := sm.StepTime(mdmap.RangeLimited, 900); err == nil {
+			t.Error("query above bracket: want refusal")
+		}
+	})
+	t.Run("inside-bracket", func(t *testing.T) {
+		if _, err := sm.StepTime(mdmap.LongRange, 450); err != nil {
+			t.Errorf("query inside bracket: %v", err)
+		}
+		if _, err := sm.AverageStep(450); err != nil {
+			t.Errorf("average step inside bracket: %v", err)
+		}
+	})
+}

@@ -28,10 +28,11 @@ type Desmond struct {
 	ThermostatCompute   sim.Dur
 }
 
-// NewDesmond returns the calibrated Desmond model on cluster c.
-func NewDesmond(c *Cluster) *Desmond {
-	return &Desmond{
-		C:                   c,
+// DesmondDefaults returns the calibrated Desmond parameters without a
+// cluster attached: the single source the event-driven model (NewDesmond)
+// and the closed-form fast path (internal/analytic) both draw from.
+func DesmondDefaults() Desmond {
+	return Desmond{
 		PosBytes:            2200,
 		ForceBytes:          2200,
 		FFTRounds:           3,
@@ -43,6 +44,13 @@ func NewDesmond(c *Cluster) *Desmond {
 		FFTCompute:          60 * sim.Us,
 		ThermostatCompute:   21 * sim.Us,
 	}
+}
+
+// NewDesmond returns the calibrated Desmond model on cluster c.
+func NewDesmond(c *Cluster) *Desmond {
+	d := DesmondDefaults()
+	d.C = c
+	return &d
 }
 
 // RangeLimitedComm runs the communication of a range-limited time step:

@@ -6,9 +6,9 @@ import "testing"
 // goroutines the sweeps use: each sweep point owns a private simulator
 // instance and rows are assembled in index order.
 func TestSweepReportsWorkerIndependent(t *testing.T) {
-	ids := []string{"ablate-allreduce", "fig7", "faultsweep", "killsweep", "fig5"}
+	ids := []string{"fastpath", "ablate-allreduce", "fig7", "faultsweep", "killsweep", "fig5"}
 	if testing.Short() {
-		ids = ids[:4]
+		ids = ids[:5]
 	}
 	defer SetWorkers(Workers())
 	for _, id := range ids {

@@ -24,6 +24,10 @@ type Experiment struct {
 	// Run executes the experiment. quick trades sampling density for
 	// speed where the full experiment is expensive (Fig. 11/12).
 	Run func(quick bool) string
+	// Analytic marks experiments that support the closed-form fast-path
+	// tier (-fidelity analytic). Everything else is event-driven only and
+	// antonbench refuses to run it at analytic fidelity.
+	Analytic bool
 }
 
 var registry = map[string]Experiment{}
@@ -49,6 +53,47 @@ func SetWorkers(n int) { atomic.StoreInt64(&workers, int64(n)) }
 
 // Workers reports the current sweep pool size.
 func Workers() int { return int(atomic.LoadInt64(&workers)) }
+
+// Fidelity tiers. FidelityDES answers every query by running the
+// event-driven simulator; FidelityAnalytic answers from the closed-form
+// fast-path tier (internal/analytic) where an experiment supports it.
+const (
+	FidelityDES      = "des"
+	FidelityAnalytic = "analytic"
+)
+
+// fidelity is the selected simulation tier; the zero value means
+// FidelityDES. Atomic for the same reason as workers.
+var fidelity atomic.Value
+
+// ParseFidelity validates a -fidelity flag value and returns the
+// canonical tier name.
+func ParseFidelity(s string) (string, error) {
+	switch s {
+	case FidelityDES, FidelityAnalytic:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown fidelity %q (valid values: %s, %s)", s, FidelityDES, FidelityAnalytic)
+}
+
+// SetFidelity selects the simulation tier experiments answer queries
+// at. Only FidelityDES and FidelityAnalytic are accepted.
+func SetFidelity(s string) error {
+	f, err := ParseFidelity(s)
+	if err != nil {
+		return err
+	}
+	fidelity.Store(f)
+	return nil
+}
+
+// Fidelity reports the selected tier (FidelityDES by default).
+func Fidelity() string {
+	if f, ok := fidelity.Load().(string); ok {
+		return f
+	}
+	return FidelityDES
+}
 
 // faultPlan is the fault plan applied to every simulator the harness
 // builds (nil = fault-free). Set from the antonbench -faults flag.

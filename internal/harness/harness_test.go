@@ -11,9 +11,9 @@ import (
 func TestRegistry(t *testing.T) {
 	want := []string{
 		"ablate-allreduce", "ablate-multicast", "ablate-staging",
-		"faultsweep", "fig11", "fig12", "fig13", "fig5", "fig6", "fig7",
-		"halfbw", "killsweep", "metrics", "migsync", "scaling", "table1",
-		"table2", "table3",
+		"fastpath", "faultsweep", "fig11", "fig12", "fig13", "fig5",
+		"fig6", "fig7", "halfbw", "killsweep", "metrics", "migsync",
+		"scaling", "table1", "table2", "table3",
 	}
 	all := All()
 	if len(all) != len(want) {

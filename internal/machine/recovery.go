@@ -293,6 +293,14 @@ func (m *Machine) mcReroute(pkt *packet.Packet, node *Node, subtree topo.NodeID,
 		*cp = *pkt
 		cp.Dst = dst
 		cp.Multicast = packet.NoMulticast
+		if cp.InOrder {
+			// The unicast copy loses the multicast ticket table with the
+			// pattern id, so the per-destination ticket must move into the
+			// unicast slot or the pair's in-order ledger stalls forever on
+			// the ticket this delivery was issued.
+			cp.Ticket = ticketOf(pkt, dst)
+			cp.Tickets = nil
+		}
 		if m.nodeDeadNow(dst.Node) {
 			m.losePacket(cp, dst, lossDstDead)
 			continue

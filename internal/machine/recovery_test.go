@@ -202,6 +202,45 @@ func TestMulticastDeadBranchReroutes(t *testing.T) {
 	}
 }
 
+// An in-order multicast rerouted around a dead branch must carry its
+// per-destination ticket into the unicast copies. The pair already has
+// one committed in-order write, so a copy that loses its ticket (and
+// falls back to the zero value) claims an already-consumed slot and
+// wedges the pair's ledger forever — the regression this test pins.
+func TestMulticastRerouteKeepsInOrderTicket(t *testing.T) {
+	m := hardMachine(t, "seed=1,killlink=0:X+@0ns,wdog=5us")
+	root := m.NodeAt(topo.C(0, 0, 0)).ID
+	next := m.NodeAt(topo.C(1, 0, 0)).ID
+	xPlus := topo.Port{Dim: topo.X, Dir: +1}
+	m.SetMulticast(root, 1, packet.McEntry{Local: []packet.ClientKind{packet.Slice1}, Out: []topo.Port{xPlus}})
+	m.SetMulticast(next, 1, packet.McEntry{Local: []packet.ClientKind{packet.Slice1}})
+	dst := packet.Client{Node: next, Kind: packet.Slice1}
+	var doneAt sim.Time = -1
+	m.Client(dst).Wait(2, 2, func() { doneAt = m.Sim.Now() })
+	// Ticket 0 on the pair: a plain in-order write over the detour.
+	m.Client(slice0(root)).Send(&packet.Packet{
+		Kind: packet.Write, Dst: dst, Multicast: packet.NoMulticast,
+		Counter: 2, Addr: 0, Bytes: 8, InOrder: true, Payload: []float64{1.5},
+	})
+	// Ticket 1: an in-order multicast whose X+ branch reroutes unicast.
+	m.Client(slice0(root)).Send(&packet.Packet{
+		Kind: packet.Write, Multicast: 1,
+		Counter: 2, Addr: 1, Bytes: 8, InOrder: true, Payload: []float64{2.5},
+	})
+	m.Sim.Run()
+	if doneAt < 0 {
+		t.Fatalf("in-order multicast over a dead branch never completed: %v", m.Recovery())
+	}
+	rec := m.Recovery()
+	if rec.WatchdogFires != 0 || rec.Lost != 0 {
+		t.Fatalf("reroute must not lose packets or trip the watchdog: %v", rec)
+	}
+	mem := m.Client(dst).Mem(0, 2)
+	if mem[0] != 1.5 || mem[1] != 2.5 {
+		t.Fatalf("delivered memory = %v, want [1.5 2.5]", mem)
+	}
+}
+
 // The whole recovery pipeline is deterministic: two identical runs under
 // the same kill plan produce identical completion times, recovery stats,
 // and memory contents.

@@ -684,6 +684,77 @@ func (mp *Mapping) fixPacketCounts() {
 // PosPackets returns the fixed per-node position packet count.
 func (mp *Mapping) PosPackets() int { return mp.posN }
 
+// ForcePackets returns the fixed per-(HTIS, import source) force packet
+// count per step.
+func (mp *Mapping) ForcePackets() int { return mp.forceN }
+
+// MaxAtomsPerNode returns the largest per-node atom count of the current
+// decomposition.
+func (mp *Mapping) MaxAtomsPerNode() int {
+	max := 0
+	for _, n := range mp.atomsAt {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MaxSrcCount returns the largest position-source count of any HTIS: the
+// fan-in of the position multicast.
+func (mp *Mapping) MaxSrcCount() int {
+	max := 0
+	for _, n := range mp.srcCount {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MaxImportCount returns the largest import-region size of any node: the
+// fan-out of the position multicast and of the force returns.
+func (mp *Mapping) MaxImportCount() int {
+	max := 0
+	for _, n := range mp.impCount {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// GridPerNode returns the FFT grid points owned by each node.
+func (mp *Mapping) GridPerNode() int {
+	return mp.Cfg.GridN * mp.Cfg.GridN * mp.Cfg.GridN / mp.tor.Nodes()
+}
+
+// ForceWireBytes returns the wire payload of one aggregated force packet.
+func (mp *Mapping) ForceWireBytes() int { return mp.forceBytes() }
+
+// MaxBondTermsAt returns the largest per-node bond-position count: the
+// bond-program instances whose term node must receive a position each
+// step, maximized over nodes.
+func (mp *Mapping) MaxBondTermsAt() int { return maxInt(mp.bondCounts.posAt) }
+
+// MaxBondSendsBy returns the largest per-node count of bond position
+// packets sent.
+func (mp *Mapping) MaxBondSendsBy() int { return maxInt(mp.bondCounts.sendsBy) }
+
+// MaxBondForcesAt returns the largest per-node count of bond force
+// packets expected back at the accumulation memory.
+func (mp *Mapping) MaxBondForcesAt() int { return maxInt(mp.bondCounts.forceAt) }
+
+func maxInt(xs []int) int {
+	max := 0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
 // ImportSet returns node n's import region.
 func (mp *Mapping) ImportSet(n topo.NodeID) []topo.NodeID { return mp.importOf[n] }
 
