@@ -222,6 +222,7 @@ func (m *Machine) recStateFor(key recKey) *recState {
 // source can re-issue it, as a permanent deficit otherwise.
 func (m *Machine) losePacket(pkt *packet.Packet, dst packet.Client, reason lossReason) {
 	now := m.Sim.Now()
+	fmt.Printf("LOSE t=%d seq=%d src=%v dst=%v ctr=%d kind=%d reason=%d\n", now, pkt.Seq, pkt.Src, dst, pkt.Counter, pkt.Kind, reason)
 	m.rec.Lost++
 	m.metrics.PacketLost(pkt.Seq, dst, int(reason), now)
 	if pkt.InOrder {
@@ -445,6 +446,7 @@ func (m *Machine) watchdogCheck(ws *waitState) {
 				continue
 			}
 			m.rec.Reissues++
+			fmt.Printf("REISSUE t=%d seq=%d src=%v dst=%v ctr=%d\n", m.Sim.Now(), cp.Seq, cp.Src, cp.Dst, cp.Counter)
 			m.metrics.Reissue(cp.Seq, cp.Dst, cp.Counter, m.Sim.Now())
 			re := new(packet.Packet)
 			*re = *cp
