@@ -2,11 +2,13 @@
 # CI gate: lint and static checks, the race-detector run of the short
 # test suite, the named subsystem batteries (fault injection, metrics,
 # hard-failure recovery, checkpoint/restart, the analytic fast-path
-# tier), the PDES golden-identity gate (every report byte-identical at
-# any -workers setting), the PDES perf-trajectory gate against the
-# committed BENCH_pdes.json, and the analytic fast-path gate against
+# tier, the HTTP serving tier with its cache-equivalence and stress
+# batteries), the PDES golden-identity gate (every report byte-identical
+# at any -workers setting), the PDES perf-trajectory gate against the
+# committed BENCH_pdes.json, the analytic fast-path gate against
 # BENCH_analytic.json (exact answer checksums plus the >=1000x per-query
-# speedup floor).
+# speedup floor), and the serving-tier load gate against BENCH_serve.json
+# (exact response checksum, latency within SERVE_TOLERANCE).
 #
 # Usage: ./ci.sh
 #
@@ -16,6 +18,9 @@
 #                    neighbours set it looser). After a deliberate perf
 #                    or model change, re-baseline with:
 #                    go run ./cmd/benchgate -update
+#   SERVE_TOLERANCE  relative latency/throughput regression that fails
+#                    the serving-tier load gate (default 0.50; the
+#                    checksum and cache accounting are always exact).
 set -eu
 
 tmpdir=$(mktemp -d)
@@ -125,6 +130,32 @@ cmp "$tmpdir/bench-1.json" "$tmpdir/bench-8.json"
 cmp "$tmpdir/trace-1.json" "$tmpdir/trace-4.json"
 cmp "$tmpdir/trace-1.json" "$tmpdir/trace-8.json"
 
+stage "fuzz corpus (FuzzRequestDigest seeds)"
+# The serving tier's cache-key fuzzer: accepted request bodies must
+# digest identically under JSON reorder/whitespace re-encoding and
+# workers/metrics mutation, and differently when quick flips. Replays
+# the seed corpus as regular tests.
+go test -run FuzzRequestDigest ./internal/serve
+
+stage "serve suite (-race -short)"
+# The simulation-as-a-service tier: request normalization and digest
+# unit tests, the single-flight cache, the cheap tier of the
+# cache-equivalence battery (miss/hit/evict/recompute byte-identity),
+# and the golden HTTP API transcript — all under the race detector.
+go test -race -short ./internal/serve
+
+stage "serve stress (-race, 120 mixed clients)"
+# 120 concurrent clients: sync runs at both fidelities, faulted
+# variants, async jobs with mid-run cancellations, malformed requests —
+# every interleaving must serve byte-identical bodies per digest.
+go test -race -run ServeStressMixedClients ./internal/serve
+
+stage "serve dedup + checkpoint restore"
+# Single-flight dedup (N identical concurrent requests, exactly one
+# simulation) and the restart path (a restored cache answers
+# byte-identically without recomputing, artifacts included).
+go test -run 'TestSingleFlightDedup|TestCheckpointRestore|TestLoadChecksumDeterministic' ./internal/serve
+
 stage "recovery suite"
 # Hard-failure survival: the machine and cluster recovery batteries
 # (fault-aware rerouting, watchdog reissue/degraded waits, uplink
@@ -171,15 +202,19 @@ done
 cmp "$tmpdir/pdes-1.out" "$tmpdir/pdes-8.out"
 cmp "$tmpdir/pdes-trace-1.json" "$tmpdir/pdes-trace-8.json"
 
-stage "perf gates (BENCH_pdes.json, BENCH_analytic.json)"
+stage "perf gates (BENCH_pdes.json, BENCH_analytic.json, BENCH_serve.json)"
 # Time the PDES kernel on the gate workloads at workers 1/4/8 and
 # compare wall time against the committed baseline (exact event counts
 # are part of the contract), then gate the analytic fast-path tier:
 # exact answer checksums (the fit fingerprint) and the >=1000x
-# per-query speedup floor over one equivalent DES run. Regenerates both
-# artifacts into $tmpdir for inspection.
+# per-query speedup floor over one equivalent DES run. Finally replay
+# the committed serving-tier load mix against an in-process antonserve:
+# the response checksum and cache accounting are pinned exactly, the
+# client-observed p50/p99/throughput within SERVE_TOLERANCE (default
+# 0.50). Regenerates all three artifacts into $tmpdir for inspection.
 "$tmpdir/bin/benchgate" -baseline BENCH_pdes.json -out "$tmpdir/BENCH_pdes.json" \
-	-analytic-baseline BENCH_analytic.json -analytic-out "$tmpdir/BENCH_analytic.json"
+	-analytic-baseline BENCH_analytic.json -analytic-out "$tmpdir/BENCH_analytic.json" \
+	-serve-baseline BENCH_serve.json -serve-out "$tmpdir/BENCH_serve.json"
 
 stage "done"
 echo "CI checks passed in $((stage_start - ci_start))s."

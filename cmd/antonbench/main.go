@@ -92,7 +92,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 || args[0] == "list" {
 		fmt.Println("experiments:")
-		for _, e := range harness.All() {
+		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
 		}
 		fmt.Println("\nrun with: antonbench [-quick] <id> [...] | all")
@@ -104,7 +104,7 @@ func main() {
 		// experiment; the event-driven-only ones are skipped rather than
 		// refused.
 		ids = nil
-		for _, e := range harness.All() {
+		for _, e := range harness.Experiments() {
 			if harness.Fidelity() == harness.FidelityAnalytic && !e.Analytic {
 				continue
 			}
@@ -178,10 +178,10 @@ func main() {
 		}
 		start := time.Now()
 		var report string
-		if id == "metrics" && (*benchOut != "" || *traceOut != "") {
-			// The metrics experiment has machine-readable artifacts beyond
-			// its report; run it once and write everything asked for.
-			a := harness.MetricsArtifacts(*quick)
+		if e.HasArtifacts() && (*benchOut != "" || *traceOut != "") {
+			// Experiments with machine-readable artifacts beyond the report
+			// (currently metrics) run once and write everything asked for.
+			a := e.ArtifactsWith(harness.NewSession(), *quick)
 			report = a.Report
 			fmt.Println(report)
 			writeArtifact(*benchOut, a.BenchJSON)

@@ -1,0 +1,94 @@
+// Command antonserve is the simulation-as-a-service tier: a
+// long-running HTTP server that accepts JSON experiment requests and
+// runs them as concurrent isolated sessions of the antonbench harness,
+// behind a deterministic result cache.
+//
+// Usage:
+//
+//	antonserve [-addr :8080] [-cache 256] [-checkpoint anton.ckpt]
+//	           [-des-workers 1] [-analytic-workers 1] [-queue-depth 64]
+//	           [-session-workers N]
+//
+// API (all under /api/v1):
+//
+//	GET    /experiments                list the experiment registry
+//	POST   /run                        run synchronously; the response is
+//	                                   byte-identical between a fresh run
+//	                                   and a cache hit (the X-Anton-Cache
+//	                                   header says which it was)
+//	POST   /jobs                       submit asynchronously; returns a job id
+//	GET    /jobs/{id}                  job state and sweep progress
+//	GET    /jobs/{id}/stream           progress as newline-delimited JSON
+//	DELETE /jobs/{id}                  cancel (queued jobs are withdrawn;
+//	                                   running jobs finish and cache)
+//	GET    /results/{digest}           a completed result by cache digest
+//	GET    /artifacts/{digest}/bench   the run's BENCH_metrics.json
+//	GET    /artifacts/{digest}/trace   the run's chrome://tracing export
+//	GET    /stats                      cache counters and queue depths
+//	GET    /healthz                    liveness
+//
+// With -checkpoint the completed result cache is persisted after every
+// finished job and restored at startup, so a restarted server resumes
+// with every previously computed experiment already answered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"anton/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache", 256, "result cache bound in entries (0 = unbounded)")
+	checkpointPath := flag.String("checkpoint", "", "persist/restore the result cache at this path")
+	desWorkers := flag.Int("des-workers", 1, "event-driven queue worker pool size")
+	analyticWorkers := flag.Int("analytic-workers", 1, "analytic queue worker pool size")
+	queueDepth := flag.Int("queue-depth", 64, "per-fidelity queue bound (full queue answers 503)")
+	sessionWorkers := flag.Int("session-workers", 1, "default per-run sweep/PDES goroutine budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "antonserve: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Config{
+		CacheEntries:   *cacheEntries,
+		CheckpointPath: *checkpointPath,
+		Sched: serve.SchedConfig{
+			DESWorkers:      *desWorkers,
+			AnalyticWorkers: *analyticWorkers,
+			QueueDepth:      *queueDepth,
+			SessionWorkers:  *sessionWorkers,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "antonserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("antonserve: shutting down")
+		hs.Close()
+		// Queued jobs drain and the final checkpoint lands before exit.
+		srv.Close()
+		close(done)
+	}()
+
+	fmt.Printf("antonserve: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "antonserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -33,12 +33,21 @@
 // equivalent DES run to stay above the -min-speedup floor (default
 // 1000x, the fastpath experiment's acceptance contract). -update
 // rewrites both baselines.
+//
+// Finally it gates the serving tier against BENCH_serve.json: the
+// committed deterministic load mix is replayed against an in-process
+// antonserve instance, the response checksum and cache accounting are
+// pinned exactly, and the client-observed p50/p99/throughput gated
+// within -serve-tolerance (default 0.50, overridable by the
+// SERVE_TOLERANCE environment variable). -update rewrites this
+// baseline too.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"anton/internal/harness"
+	"anton/internal/serve"
 )
 
 // benchSchema versions the BENCH_pdes.json layout.
@@ -104,6 +114,11 @@ func main() {
 	analyticOut := flag.String("analytic-out", "", "also write the fresh analytic measurements to this file")
 	minSpeedup := flag.Float64("min-speedup", 1000,
 		"minimum analytic-vs-DES per-query speedup that passes the analytic gate")
+	serveBaseline := flag.String("serve-baseline", "BENCH_serve.json",
+		"committed serving-tier baseline (empty = skip the serve gate)")
+	serveOut := flag.String("serve-out", "", "also write the fresh serve measurements to this file")
+	serveTolerance := flag.Float64("serve-tolerance", defaultServeTolerance(),
+		"relative latency/throughput regression that fails the serve gate (SERVE_TOLERANCE env overrides the default)")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -132,6 +147,26 @@ func main() {
 			}
 		}
 	}
+	// The serve gate replays the committed load config (or the default
+	// when creating the baseline) against an in-process server.
+	var freshS, baseS serve.BenchFile
+	if *serveBaseline != "" {
+		cfg := serve.LoadConfig{Requests: 200, Clients: 8}
+		var seed uint64 = 1
+		if !*update {
+			baseS, err = readServeFile(*serveBaseline)
+			if err != nil {
+				fatalf("%v (run with -update to create the baseline)", err)
+			}
+			cfg.Requests, cfg.Clients, seed = baseS.Result.Requests, baseS.Result.Clients, baseS.Seed
+		}
+		freshS = measureServe(seed, cfg)
+		if *serveOut != "" {
+			if err := writeServeFile(*serveOut, freshS); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
 	if *update {
 		if err := writeFile(*baseline, fresh); err != nil {
 			fatalf("%v", err)
@@ -142,6 +177,12 @@ func main() {
 				fatalf("%v", err)
 			}
 			fmt.Printf("benchgate: wrote baseline %s (%d results)\n", *analyticBaseline, len(freshA.Results))
+		}
+		if *serveBaseline != "" {
+			if err := writeServeFile(*serveBaseline, freshS); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("benchgate: wrote baseline %s\n", *serveBaseline)
 		}
 		return
 	}
@@ -160,6 +201,11 @@ func main() {
 			ok = false
 		}
 	}
+	if *serveBaseline != "" {
+		if !serve.CompareBench(baseS, freshS, *serveTolerance) {
+			ok = false
+		}
+	}
 	if ok {
 		fmt.Println("benchgate: PASS")
 		return
@@ -170,6 +216,65 @@ func main() {
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// defaultServeTolerance is 0.50 unless the SERVE_TOLERANCE environment
+// variable overrides it. Looser than the PDES gate: an end-to-end HTTP
+// load run sees scheduler and network-stack noise the event kernel
+// does not.
+func defaultServeTolerance() float64 {
+	if v := os.Getenv("SERVE_TOLERANCE"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || t < 0 {
+			fatalf("SERVE_TOLERANCE=%q is not a non-negative number", v)
+		}
+		return t
+	}
+	return 0.50
+}
+
+// measureServe runs the committed load mix against an in-process server
+// on a loopback listener (no external moving parts) and packages the
+// result as a BENCH_serve.json payload.
+func measureServe(seed uint64, cfg serve.LoadConfig) serve.BenchFile {
+	srv, err := serve.New(serve.Config{Sched: serve.SchedConfig{DESWorkers: 2, AnalyticWorkers: 1}})
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	cfg.Seed = seed
+	st, err := serve.RunLoad(ts.URL+"/api/v1", nil, cfg)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: serve %d requests  p50 %.2f ms  p99 %.2f ms  %.0f req/s  checksum %s\n",
+		st.Requests, st.P50Ms, st.P99Ms, st.RPS, st.Checksum)
+	return serve.BenchFile{Schema: serve.BenchSchema, Seed: seed, Result: st}
+}
+
+func readServeFile(path string) (serve.BenchFile, error) {
+	var f serve.BenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %v", path, err)
+	}
+	if f.Schema != serve.BenchSchema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, serve.BenchSchema)
+	}
+	return f, nil
+}
+
+func writeServeFile(path string, f serve.BenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // defaultTolerance is 0.15 unless the BENCH_TOLERANCE environment

@@ -1,0 +1,85 @@
+// Command loadgen drives a deterministic request mix against an
+// antonserve instance and reports client-observed latency and
+// throughput (p50/p99/mean, requests per second) plus the
+// order-independent response checksum that fingerprints the whole
+// serving path.
+//
+// Usage:
+//
+//	loadgen [-addr http://host:8080] [-n 200] [-clients 8] [-seed 1]
+//	        [-out BENCH_serve.json]
+//
+// With no -addr it spins an in-process server on a loopback listener —
+// the self-contained mode CI's smoke stage and the committed
+// BENCH_serve.json baseline use, so the measurement has no external
+// moving parts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"anton/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server base URL (empty: run an in-process server)")
+	n := flag.Int("n", 200, "number of requests")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	seed := flag.Uint64("seed", 1, "mix-selection seed")
+	out := flag.String("out", "", "also write the run as a BENCH_serve.json payload")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	if base == "" {
+		srv, err := serve.New(serve.Config{Sched: serve.SchedConfig{DESWorkers: 2, AnalyticWorkers: 1}})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+		base = ts.URL
+	}
+
+	st, err := serve.RunLoad(base+"/api/v1", nil, serve.LoadConfig{
+		Requests: *n, Clients: *clients, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("loadgen: %d requests, %d clients, seed %d\n", st.Requests, st.Clients, *seed)
+	fmt.Printf("  errors            %d\n", st.Errors)
+	fmt.Printf("  distinct digests  %d\n", st.DistinctDigests)
+	fmt.Printf("  checksum          %s\n", st.Checksum)
+	fmt.Printf("  cache             %d hits / %d misses / %d joins\n", st.CacheHits, st.CacheMisses, st.CacheJoins)
+	fmt.Printf("  latency           p50 %.2f ms  p99 %.2f ms  mean %.2f ms\n", st.P50Ms, st.P99Ms, st.MeanMs)
+	fmt.Printf("  throughput        %.1f req/s over %.0f ms\n", st.RPS, st.WallMs)
+
+	if *out != "" {
+		f := serve.BenchFile{Schema: serve.BenchSchema, Seed: *seed, Result: st}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if st.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // the two designs it rejects: the radix-2 butterfly (more rounds, more
 // hops) and summing in the accumulation memories (expensive cross-ring
 // counter polling).
-func ablateAllReduce(quick bool) string {
+func ablateAllReduce(sess *Session, quick bool) string {
 	out := header("Ablation: all-reduce algorithm choices (Section IV.B.4)")
 	tori := []topo.Torus{topo.NewTorus(4, 4, 4), topo.NewTorus(8, 8, 8)}
 	if quick {
@@ -25,10 +25,10 @@ func ablateAllReduce(quick bool) string {
 	// The three algorithm variants per torus each run on a private
 	// machine; the torus sweep runs on the experiment worker pool.
 	type trio struct{ dim, fly, acc sim.Dur }
-	rs := sweep(len(tori), func(k int) trio {
+	rs := sweep(sess, len(tori), func(k int) trio {
 		tor := tori[k]
 		run := func(mk func(m *machine.Machine) func(func(topo.NodeID) []float64, func(sim.Time))) sim.Dur {
-			s := NewSim()
+			s := sess.NewSim()
 			m := machine.New(s, tor, noc.DefaultModel())
 			var done sim.Time
 			mk(m)(nil, func(at sim.Time) { done = at })
@@ -139,17 +139,17 @@ func stagedNeighborExchange(m *machine.Machine, bytesPerStage int, marshal sim.D
 	return last.Sub(start)
 }
 
-func ablateStaging(quick bool) string {
+func ablateStaging(sess *Session, quick bool) string {
 	out := header("Ablation: direct fine-grained exchange vs staged communication (Figure 8a)")
 	// Exchange ~832 bytes of data with each of the 26 neighbours, either
 	// directly (26 destinations x fine-grained packets) or staged
 	// (3 stages x 2 consolidated messages carrying the aggregated data,
 	// with marshalling between stages).
-	s1 := NewSim()
+	s1 := sess.NewSim()
 	m1 := machine.Default512(s1)
 	direct := directNeighborExchange(m1, 13, 64) // 13 packets x 64 B to each neighbour
 
-	s2 := NewSim()
+	s2 := sess.NewSim()
 	m2 := machine.Default512(s2)
 	// Each staged message consolidates one third of the total volume:
 	// 26 neighbours x 832 B / (3 stages x 2 messages) ~ 3.6 KB per message.
@@ -163,12 +163,12 @@ func ablateStaging(quick bool) string {
 	return out
 }
 
-func ablateMulticast(quick bool) string {
+func ablateMulticast(sess *Session, quick bool) string {
 	out := header("Ablation: hardware multicast vs repeated unicast")
 	// Broadcast 32 packets of 64 B from one node to the 7 other nodes of
 	// its X ring.
 	runMulticast := func() (sim.Dur, uint64) {
-		s := NewSim()
+		s := sess.NewSim()
 		m := machine.Default512(s)
 		collective.InstallRingBroadcast(m, topo.X, packet.Slice0, 0)
 		var done sim.Time
@@ -184,7 +184,7 @@ func ablateMulticast(quick bool) string {
 		return sim.Dur(done), m.Stats().Sent
 	}
 	runUnicast := func() (sim.Dur, uint64) {
-		s := NewSim()
+		s := sess.NewSim()
 		m := machine.Default512(s)
 		var done sim.Time
 		root := m.Client(packet.Client{Node: 0, Kind: packet.Slice0})
@@ -209,7 +209,7 @@ func ablateMulticast(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "ablate-allreduce", Title: "all-reduce design ablation", Run: ablateAllReduce})
-	register(Experiment{ID: "ablate-staging", Title: "direct vs staged exchange", Run: ablateStaging})
-	register(Experiment{ID: "ablate-multicast", Title: "multicast vs unicast", Run: ablateMulticast})
+	register(Experiment{ID: "ablate-allreduce", Title: "all-reduce design ablation", run: ablateAllReduce})
+	register(Experiment{ID: "ablate-staging", Title: "direct vs staged exchange", run: ablateStaging})
+	register(Experiment{ID: "ablate-multicast", Title: "multicast vs unicast", run: ablateMulticast})
 }

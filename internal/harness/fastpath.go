@@ -64,8 +64,8 @@ func withinBound(des, an sim.Dur, bound float64) bool {
 
 // clusterDES runs one event-driven cluster operation on a fresh
 // simulator and returns its completion time.
-func clusterDES(n int, op func(c *cluster.Cluster, done func(sim.Time))) sim.Dur {
-	s := NewSim()
+func clusterDES(sess *Session, n int, op func(c *cluster.Cluster, done func(sim.Time))) sim.Dur {
+	s := sess.NewSim()
 	c := cluster.New(s, n, cluster.DDR2InfiniBand())
 	var at sim.Time
 	op(c, func(t sim.Time) { at = t })
@@ -76,8 +76,8 @@ func clusterDES(n int, op func(c *cluster.Cluster, done func(sim.Time))) sim.Dur
 // desStepKinds runs the event-driven workload for the given number of
 // steps and returns the steady-state total per step kind (the last of
 // each — the convention the step model is calibrated against).
-func desStepKinds(tor topo.Torus, cfg mdmap.Config, atoms, steps int) map[mdmap.StepKind]sim.Dur {
-	s := NewSim()
+func desStepKinds(sess *Session, tor topo.Torus, cfg mdmap.Config, atoms, steps int) map[mdmap.StepKind]sim.Dur {
+	s := sess.NewSim()
 	m := machine.New(s, tor, noc.DefaultModel())
 	cfg.Atoms = atoms
 	mp := mdmap.New(s, m, cfg)
@@ -96,13 +96,13 @@ func desStepKinds(tor topo.Torus, cfg mdmap.Config, atoms, steps int) map[mdmap.
 // event-driven simulator with a per-row error column. The report is
 // fully deterministic — no wall-clock numbers; the measured speedup
 // lives in the benchgate artifact (BENCH_analytic.json).
-func fastpath(quick bool) string {
+func fastpath(sess *Session, quick bool) string {
 	out := header("Fast path: closed-form analytic tier vs event-driven simulator")
-	if FaultPlan() != nil {
+	if sess.Faults != nil {
 		return out + "refused: the analytic tier models a fault-free machine and cannot answer\n" +
 			"under a fault plan; rerun without -faults to compare the tiers.\n"
 	}
-	analyticOnly := Fidelity() == FidelityAnalytic
+	analyticOnly := sess.fidelity() == FidelityAnalytic
 	if analyticOnly {
 		out += "fidelity: analytic (closed-form answers only; DES cross-check columns omitted)\n\n"
 	} else {
@@ -134,9 +134,9 @@ func fastpath(quick bool) string {
 	}
 	routeDES := make([]sim.Dur, len(fastpathRoutes))
 	if !analyticOnly {
-		copy(routeDES, sweep(len(fastpathRoutes), func(i int) sim.Dur {
+		copy(routeDES, sweep(sess, len(fastpathRoutes), func(i int) sim.Dur {
 			r := fastpathRoutes[i]
-			return OneWayLatency(r.dst, r.bytes)
+			return oneWayLatency(sess, r.dst, r.bytes)
 		}))
 	}
 	for i, r := range fastpathRoutes {
@@ -160,10 +160,10 @@ func fastpath(quick bool) string {
 	type gridRow [3]sim.Dur
 	gridDES := make([]gridRow, len(hopsList))
 	if !analyticOnly {
-		copy(gridDES, sweep(len(hopsList), func(i int) gridRow {
+		copy(gridDES, sweep(sess, len(hopsList), func(i int) gridRow {
 			var r gridRow
 			for k, b := range sizes {
-				r[k] = OneWayLatency(hopPath(hopsList[i]), b)
+				r[k] = oneWayLatency(sess, hopPath(hopsList[i]), b)
 			}
 			return r
 		}))
@@ -210,27 +210,27 @@ func fastpath(quick bool) string {
 	for _, b := range []int{0, 32} {
 		b := b
 		usRow(fmt.Sprintf("Anton 512-node all-reduce %dB", b),
-			func() sim.Dur { return antonAllReduce(tor, b) },
+			func() sim.Dur { return antonAllReduce(sess, tor, b) },
 			a.AllReduce(fastpathCollective(b)))
 	}
 	ib := analytic.NewCluster(512)
 	usRow("cluster ping 32B",
 		func() sim.Dur {
-			return clusterDES(2, func(c *cluster.Cluster, done func(sim.Time)) { c.Send(0, 1, 32, done) })
+			return clusterDES(sess, 2, func(c *cluster.Cluster, done func(sim.Time)) { c.Send(0, 1, 32, done) })
 		}, ib.Ping(32))
 	usRow("cluster 2KB in 24 messages",
 		func() sim.Dur {
-			return clusterDES(2, func(c *cluster.Cluster, done func(sim.Time)) { c.TransferManyMessages(0, 1, 2048, 24, done) })
+			return clusterDES(sess, 2, func(c *cluster.Cluster, done func(sim.Time)) { c.TransferManyMessages(0, 1, 2048, 24, done) })
 		}, ib.ManyMessages(2048, 24))
 	if ibAR, err := ib.AllReduce(32); err == nil {
 		usRow("cluster 512-rank all-reduce 32B",
 			func() sim.Dur {
-				return clusterDES(512, func(c *cluster.Cluster, done func(sim.Time)) { c.AllReduce(32, done) })
+				return clusterDES(sess, 512, func(c *cluster.Cluster, done func(sim.Time)) { c.AllReduce(32, done) })
 			}, ibAR)
 	}
 	usRow("cluster staged neighbour exchange 2200B",
 		func() sim.Dur {
-			return clusterDES(512, func(c *cluster.Cluster, done func(sim.Time)) { c.StagedNeighborExchange(2200, done) })
+			return clusterDES(sess, 512, func(c *cluster.Cluster, done func(sim.Time)) { c.StagedNeighborExchange(2200, done) })
 		}, ib.StagedNeighborExchange(2200))
 	out += t.String()
 
@@ -246,7 +246,7 @@ func fastpath(quick bool) string {
 	cfg := mdmap.DefaultConfig()
 	cfg.MigrationInterval = 0
 	out += fmt.Sprintf("\nMD step-time model (%v torus, calibrated at %d and %d atoms):\n", sTor, lo, hi)
-	sm, err := analytic.CalibrateStep(sTor, cfg, lo, hi, analytic.StepOptions{NewSim: NewSim, Steps: steps})
+	sm, err := analytic.CalibrateStep(sTor, cfg, lo, hi, analytic.StepOptions{NewSim: sess.NewSim, Steps: steps})
 	if err != nil {
 		out += fmt.Sprintf("calibration refused: %v\n", err)
 		return out
@@ -278,8 +278,8 @@ func fastpath(quick bool) string {
 	}
 	stepRow(lo, sm.RefLo)
 	if !analyticOnly {
-		interiorDES := sweep(len(interior), func(i int) map[mdmap.StepKind]sim.Dur {
-			return desStepKinds(sTor, cfg, interior[i], steps)
+		interiorDES := sweep(sess, len(interior), func(i int) map[mdmap.StepKind]sim.Dur {
+			return desStepKinds(sess, sTor, cfg, interior[i], steps)
 		})
 		for i, atoms := range interior {
 			stepRow(atoms, interiorDES[i])
@@ -315,5 +315,5 @@ func fastpath(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "fastpath", Title: "analytic fast-path tier vs DES", Run: fastpath, Analytic: true})
+	register(Experiment{ID: "fastpath", Title: "analytic fast-path tier vs DES", run: fastpath, Analytic: true})
 }

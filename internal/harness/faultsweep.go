@@ -42,11 +42,12 @@ func SweepFaultPlan(rate float64) fault.Plan {
 }
 
 // faultSim builds a fresh simulator with plan attached. The sweep sets
-// its plans explicitly rather than through SetFaultPlan, so the global
-// -faults flag does not double-inject here.
-func faultSim(p fault.Plan) *sim.Sim {
+// its plans explicitly rather than through the session fault plan, so a
+// -faults flag (or a request plan) does not double-inject here; only the
+// session worker count carries over.
+func faultSim(sess *Session, p fault.Plan) *sim.Sim {
 	s := sim.New()
-	s.SetWorkers(par.Workers(Workers()))
+	s.SetWorkers(par.Workers(sess.Workers))
 	fault.Attach(s, p)
 	return s
 }
@@ -55,8 +56,8 @@ func faultSim(p fault.Plan) *sim.Sim {
 // 512-node machine and returns the mean software-to-software latency:
 // the 162 ns path of Figure 6, degraded by whatever faults hit the
 // link.
-func antonPingMean(p fault.Plan, n int) sim.Dur {
-	s := faultSim(p)
+func antonPingMean(sess *Session, p fault.Plan, n int) sim.Dur {
+	s := faultSim(sess, p)
 	m := machine.Default512(s)
 	src := packet.Client{Node: m.Torus.ID(topo.C(0, 0, 0)), Kind: packet.Slice0}
 	dst := packet.Client{Node: m.Torus.ID(topo.C(1, 0, 0)), Kind: packet.Slice0}
@@ -80,8 +81,8 @@ func antonPingMean(p fault.Plan, n int) sim.Dur {
 
 // antonAllReduceFault measures the dimension-ordered 512-node global
 // all-reduce under plan p.
-func antonAllReduceFault(p fault.Plan, bytes int) sim.Dur {
-	s := faultSim(p)
+func antonAllReduceFault(sess *Session, p fault.Plan, bytes int) sim.Dur {
+	s := faultSim(sess, p)
 	m := machine.New(s, topo.NewTorus(8, 8, 8), noc.DefaultModel())
 	ar := collective.NewAllReduce(m, collective.DefaultConfig(bytes))
 	var done sim.Time
@@ -95,8 +96,8 @@ func antonAllReduceFault(p fault.Plan, bytes int) sim.Dur {
 // long-range step), the quantity behind the iteration rate. The system
 // is deliberately small — the sweep needs the *relative* degradation
 // per rate, and a small mapping keeps the five-rate sweep cheap.
-func antonStepFault(p fault.Plan) sim.Dur {
-	s := faultSim(p)
+func antonStepFault(sess *Session, p fault.Plan) sim.Dur {
+	s := faultSim(sess, p)
 	m := machine.New(s, topo.NewTorus(2, 2, 2), noc.DefaultModel())
 	cfg := mdmap.DefaultConfig()
 	cfg.Atoms = 4000
@@ -111,8 +112,8 @@ func antonStepFault(p fault.Plan) sim.Dur {
 // ibPingMean runs n sequential small-message sends between two cluster
 // ranks and returns the mean one-way latency including any
 // timeout-and-retransmit recoveries.
-func ibPingMean(p fault.Plan, n int) sim.Dur {
-	s := faultSim(p)
+func ibPingMean(sess *Session, p fault.Plan, n int) sim.Dur {
+	s := faultSim(sess, p)
 	c := cluster.New(s, 2, cluster.DDR2InfiniBand())
 	var total sim.Dur
 	var round func(k int)
@@ -133,8 +134,8 @@ func ibPingMean(p fault.Plan, n int) sim.Dur {
 
 // ibAllReduceFault measures the 512-rank recursive-doubling all-reduce
 // under plan p.
-func ibAllReduceFault(p fault.Plan, bytes int) sim.Dur {
-	s := faultSim(p)
+func ibAllReduceFault(sess *Session, p fault.Plan, bytes int) sim.Dur {
+	s := faultSim(sess, p)
 	c := cluster.New(s, 512, cluster.DDR2InfiniBand())
 	var done sim.Time
 	c.AllReduce(bytes, func(at sim.Time) { done = at })
@@ -142,7 +143,7 @@ func ibAllReduceFault(p fault.Plan, bytes int) sim.Dur {
 	return sim.Dur(done)
 }
 
-func faultsweep(quick bool) string {
+func faultsweep(sess *Session, quick bool) string {
 	out := header("Fault sweep: latency and iteration-rate degradation vs injected error rate")
 	rates := []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
 	pings := 1000
@@ -156,14 +157,14 @@ func faultsweep(quick bool) string {
 	// Every rate owns private simulator instances (one per metric), so
 	// the sweep runs on the experiment worker pool and the report is
 	// byte-identical at any worker count.
-	rows := sweep(len(rates), func(i int) row {
+	rows := sweep(sess, len(rates), func(i int) row {
 		p := SweepFaultPlan(rates[i])
 		return row{
-			ping:   antonPingMean(p, pings),
-			ar:     antonAllReduceFault(p, 32),
-			step:   antonStepFault(p),
-			ibPing: ibPingMean(p, pings),
-			ibAr:   ibAllReduceFault(p, 32),
+			ping:   antonPingMean(sess, p, pings),
+			ar:     antonAllReduceFault(sess, p, 32),
+			step:   antonStepFault(sess, p),
+			ibPing: ibPingMean(sess, p, pings),
+			ibAr:   ibAllReduceFault(sess, p, 32),
 		}
 	})
 	t := NewTable("error rate", "Anton ping (ns)", "Anton 32B reduce (us)", "Anton step (us)",
@@ -190,5 +191,5 @@ func faultsweep(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "faultsweep", Title: "degradation vs injected error rate", Run: faultsweep})
+	register(Experiment{ID: "faultsweep", Title: "degradation vs injected error rate", run: faultsweep})
 }

@@ -1,8 +1,18 @@
 // Package harness regenerates every table and figure of the paper's
 // evaluation. Each experiment is a function returning a rendered text
 // report; the registry maps experiment ids (fig5, table3, ...) to them so
-// the antonbench command and the top-level benchmarks share one
-// implementation.
+// the antonbench command, the antonserve HTTP tier, and the top-level
+// benchmarks share one implementation.
+//
+// Experiments run inside a Session, which carries everything that may
+// perturb simulator construction or report content: the sweep/PDES
+// worker count, the fidelity tier, the fault plan, and the metrics
+// toggle. Sessions are isolated — two sessions with different fault
+// plans can run concurrently on the same process — which is what lets
+// the serving tier execute many sim sessions at once. The package-level
+// Set* functions remain as process-wide defaults for the one-shot CLIs;
+// Experiment.Run snapshots them into a fresh Session per call, so the
+// CLI behaviour is unchanged.
 package harness
 
 import (
@@ -21,37 +31,152 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	// Run executes the experiment. quick trades sampling density for
-	// speed where the full experiment is expensive (Fig. 11/12).
-	Run func(quick bool) string
+	// run executes the experiment inside a session. quick trades sampling
+	// density for speed where the full experiment is expensive
+	// (Fig. 11/12).
+	run func(s *Session, quick bool) string
+	// artifacts, when non-nil, runs the experiment and returns its
+	// machine-readable artifacts alongside the report (currently only the
+	// metrics experiment: BENCH_metrics.json plus the chrome-trace
+	// export). The CLI and the HTTP tier dispatch on this instead of
+	// hardcoding experiment ids.
+	artifacts func(s *Session, quick bool) Artifacts
 	// Analytic marks experiments that support the closed-form fast-path
 	// tier (-fidelity analytic). Everything else is event-driven only and
 	// antonbench refuses to run it at analytic fidelity.
 	Analytic bool
 }
 
+// Run executes the experiment with a session snapshotted from the
+// process-wide defaults (SetWorkers, SetFidelity, SetFaultPlan,
+// SetMetrics) — the one-shot CLI and test entry point.
+func (e Experiment) Run(quick bool) string { return e.run(NewSession(), quick) }
+
+// RunWith executes the experiment inside the given session.
+func (e Experiment) RunWith(s *Session, quick bool) string { return e.run(s, quick) }
+
+// HasArtifacts reports whether the experiment produces machine-readable
+// artifacts beyond its text report.
+func (e Experiment) HasArtifacts() bool { return e.artifacts != nil }
+
+// ArtifactsWith runs the experiment inside the given session and returns
+// its full artifact set. It panics if the experiment has none; check
+// HasArtifacts first.
+func (e Experiment) ArtifactsWith(s *Session, quick bool) Artifacts {
+	if e.artifacts == nil {
+		panic(fmt.Sprintf("harness: experiment %q has no artifacts", e.ID))
+	}
+	return e.artifacts(s, quick)
+}
+
 var registry = map[string]Experiment{}
 
 func register(e Experiment) { registry[e.ID] = e }
 
-// workers is the pool size experiment sweeps use for their independent
-// simulation instances. Atomic because benchmarks and tests flip it
-// around concurrent experiment runs.
+// Session is one isolated experiment run's configuration. The zero
+// value is usable: sequential sweeps, DES fidelity, no faults, no
+// metrics. Sessions must not be shared between concurrent experiment
+// runs (each run owns its progress counter), but any number of
+// sessions may run concurrently — nothing in the harness is shared
+// between them, which is the isolation contract the serving tier's
+// concurrent sim sessions rely on.
+type Session struct {
+	// Workers is the goroutine budget: 1 (and 0 by convention in the
+	// package-level default) runs everything on the calling goroutine, a
+	// negative value or 0 passed through par.Workers resolves to
+	// GOMAXPROCS. It feeds two layers: experiment sweeps run their
+	// independent simulator instances on a pool of this size, and every
+	// simulator the session builds passes it to the PDES kernel
+	// (sim.SetWorkers). Reports are byte-identical at any setting.
+	Workers int
+	// Fidelity selects the simulation tier (FidelityDES when empty).
+	Fidelity string
+	// Faults, when non-nil, is attached to every simulator the session
+	// builds; each simulator gets its own injector seeded from the plan.
+	Faults *fault.Plan
+	// Metrics attaches a passive lifecycle recorder to every simulator
+	// the session builds. Recording never changes a report byte (the
+	// zero-overhead identity gates pin this).
+	Metrics bool
+	// Progress, when non-nil, is called with the cumulative number of
+	// completed sweep units each time one finishes. Sweep units complete
+	// on pool goroutines, so the hook must be safe for concurrent use;
+	// the count is monotone. The serving tier streams it to clients.
+	Progress func(completed int)
+
+	completed atomic.Int64
+}
+
+// NewSession snapshots the process-wide defaults into a fresh session.
+func NewSession() *Session {
+	return &Session{
+		Workers:  Workers(),
+		Fidelity: Fidelity(),
+		Faults:   FaultPlan(),
+		Metrics:  MetricsEnabled(),
+	}
+}
+
+// fidelity returns the session tier, resolving the zero value.
+func (s *Session) fidelity() string {
+	if s.Fidelity == "" {
+		return FidelityDES
+	}
+	return s.Fidelity
+}
+
+// NewSim returns a fresh simulator configured by the session: the PDES
+// kernel worker count, the fault plan (if any), and, when enabled, a
+// metrics recorder. Every experiment builds its simulators through
+// this, which is how one request's fault plan perturbs exactly that
+// request's evaluation and nothing else.
+func (s *Session) NewSim() *sim.Sim {
+	sm := sim.New()
+	sm.SetWorkers(par.Workers(s.Workers))
+	if s.Faults != nil {
+		fault.Attach(sm, *s.Faults)
+	}
+	if s.Metrics {
+		metrics.Attach(sm)
+	}
+	return sm
+}
+
+// step records one completed sweep unit and notifies the progress hook.
+func (s *Session) step() {
+	n := s.completed.Add(1)
+	if s.Progress != nil {
+		s.Progress(int(n))
+	}
+}
+
+// Completed reports the cumulative number of finished sweep units.
+func (s *Session) Completed() int { return int(s.completed.Load()) }
+
+// sweep runs n independent jobs — each building its own sim.Sim and
+// machine — on the session worker pool and returns the results in index
+// order. Each completed job bumps the session progress counter.
+func sweep[T any](s *Session, n int, job func(i int) T) []T {
+	out := make([]T, n)
+	par.ParFor(par.Workers(s.Workers), n, func(i int) {
+		out[i] = job(i)
+		s.step()
+	})
+	return out
+}
+
+// workers is the process-default pool size experiment sweeps use for
+// their independent simulation instances. Atomic because benchmarks and
+// tests flip it around concurrent experiment runs.
 var workers int64 = 1
 
-// SetWorkers sets the number of goroutines experiments may use:
-// 1 (the default) runs everything on the calling goroutine, 0 or a
-// negative value resolves to GOMAXPROCS. The setting feeds two layers:
-// experiment sweeps run their independent simulator instances on a pool
-// of this size, and every simulator the harness builds passes it to the
-// PDES kernel (sim.SetWorkers), which parallelizes the event-queue work
-// inside a single simulation over spatial domains. Every experiment's
-// rendered report is byte-identical for any setting — sweep points own
-// private simulators assembled in index order, and the PDES executor
-// commits events in the sequential kernel's canonical order.
+// SetWorkers sets the process-default number of goroutines experiments
+// may use: 1 (the default) runs everything on the calling goroutine, 0
+// or a negative value resolves to GOMAXPROCS. Experiment.Run snapshots
+// it into each run's session; see Session.Workers.
 func SetWorkers(n int) { atomic.StoreInt64(&workers, int64(n)) }
 
-// Workers reports the current sweep pool size.
+// Workers reports the current default sweep pool size.
 func Workers() int { return int(atomic.LoadInt64(&workers)) }
 
 // Fidelity tiers. FidelityDES answers every query by running the
@@ -62,7 +187,7 @@ const (
 	FidelityAnalytic = "analytic"
 )
 
-// fidelity is the selected simulation tier; the zero value means
+// fidelity is the process-default simulation tier; the zero value means
 // FidelityDES. Atomic for the same reason as workers.
 var fidelity atomic.Value
 
@@ -76,8 +201,8 @@ func ParseFidelity(s string) (string, error) {
 	return "", fmt.Errorf("unknown fidelity %q (valid values: %s, %s)", s, FidelityDES, FidelityAnalytic)
 }
 
-// SetFidelity selects the simulation tier experiments answer queries
-// at. Only FidelityDES and FidelityAnalytic are accepted.
+// SetFidelity selects the process-default simulation tier. Only
+// FidelityDES and FidelityAnalytic are accepted.
 func SetFidelity(s string) error {
 	f, err := ParseFidelity(s)
 	if err != nil {
@@ -87,7 +212,7 @@ func SetFidelity(s string) error {
 	return nil
 }
 
-// Fidelity reports the selected tier (FidelityDES by default).
+// Fidelity reports the default tier (FidelityDES by default).
 func Fidelity() string {
 	if f, ok := fidelity.Load().(string); ok {
 		return f
@@ -95,59 +220,35 @@ func Fidelity() string {
 	return FidelityDES
 }
 
-// faultPlan is the fault plan applied to every simulator the harness
-// builds (nil = fault-free). Set from the antonbench -faults flag.
+// faultPlan is the process-default fault plan (nil = fault-free). Set
+// from the antonbench -faults flag.
 var faultPlan atomic.Pointer[fault.Plan]
 
-// SetFaultPlan installs the fault plan every subsequently built
-// experiment simulator runs under; nil restores the fault-free models.
-// Each simulator instance gets its own injector seeded from the plan,
-// so experiment reports remain byte-identical at any worker count, and
-// a zero-rate plan reproduces the fault-free reports bit for bit.
+// SetFaultPlan installs the default fault plan snapshotted into every
+// subsequently started Experiment.Run; nil restores the fault-free
+// models. Each simulator instance gets its own injector seeded from the
+// plan, so experiment reports remain byte-identical at any worker
+// count, and a zero-rate plan reproduces the fault-free reports bit for
+// bit.
 func SetFaultPlan(p *fault.Plan) { faultPlan.Store(p) }
 
-// FaultPlan returns the currently installed plan, or nil.
+// FaultPlan returns the currently installed default plan, or nil.
 func FaultPlan() *fault.Plan { return faultPlan.Load() }
 
 // metricsOn, when set, attaches a lifecycle recorder to every simulator
-// the harness builds. Recording is purely passive, so every experiment
-// report is byte-identical with the toggle on or off — which the
-// zero-overhead identity test pins against the golden reports.
+// default sessions build. Recording is purely passive, so every
+// experiment report is byte-identical with the toggle on or off — which
+// the zero-overhead identity test pins against the golden reports.
 var metricsOn atomic.Bool
 
-// SetMetrics toggles lifecycle recording on every subsequently built
-// experiment simulator. The metrics experiment attaches its own
-// recorders and does not need the toggle; it exists so tests (and
-// future experiments) can prove recording never changes a result.
+// SetMetrics toggles the default for lifecycle recording. The metrics
+// experiment attaches its own recorders and does not need the toggle;
+// it exists so tests (and the serving tier) can prove recording never
+// changes a result.
 func SetMetrics(on bool) { metricsOn.Store(on) }
 
-// MetricsEnabled reports whether harness simulators record lifecycles.
+// MetricsEnabled reports the default metrics toggle.
 func MetricsEnabled() bool { return metricsOn.Load() }
-
-// NewSim returns a fresh simulator with the current fault plan (if any)
-// and, when enabled, a metrics recorder attached. Every experiment
-// builds its simulators through this, which is how one -faults flag
-// perturbs the whole evaluation.
-func NewSim() *sim.Sim {
-	s := sim.New()
-	s.SetWorkers(par.Workers(Workers()))
-	if p := faultPlan.Load(); p != nil {
-		fault.Attach(s, *p)
-	}
-	if metricsOn.Load() {
-		metrics.Attach(s)
-	}
-	return s
-}
-
-// sweep runs n independent jobs — each building its own sim.Sim and
-// machine — on the package worker pool and returns the results in index
-// order.
-func sweep[T any](n int, job func(i int) T) []T {
-	out := make([]T, n)
-	par.ParFor(par.Workers(Workers()), n, func(i int) { out[i] = job(i) })
-	return out
-}
 
 // Lookup returns the experiment with the given id.
 func Lookup(id string) (Experiment, bool) {
@@ -155,8 +256,10 @@ func Lookup(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// All returns every registered experiment sorted by id.
-func All() []Experiment {
+// Experiments returns every registered experiment sorted by id — the
+// enumerable registry shared by the antonbench CLI and the antonserve
+// HTTP tier.
+func Experiments() []Experiment {
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
 		out = append(out, e)

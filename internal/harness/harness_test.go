@@ -15,7 +15,7 @@ func TestRegistry(t *testing.T) {
 		"fig6", "fig7", "halfbw", "killsweep", "metrics", "migsync",
 		"scaling", "table1", "table2", "table3",
 	}
-	all := All()
+	all := Experiments()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -78,8 +78,9 @@ func TestFig5Slopes(t *testing.T) {
 
 func TestAntonTransferFlat(t *testing.T) {
 	// Fig. 7, Anton side: 64 messages must cost < 2x one message.
-	one := antonTransfer(1, 2048, 1)
-	many := antonTransfer(1, 2048, 64)
+	sess := NewSession()
+	one := antonTransfer(sess, 1, 2048, 1)
+	many := antonTransfer(sess, 1, 2048, 64)
 	if ratio := float64(many) / float64(one); ratio > 2 {
 		t.Fatalf("64-message normalized cost = %.2f, want < 2", ratio)
 	}
@@ -109,14 +110,14 @@ func TestCheapExperimentsRender(t *testing.T) {
 }
 
 func TestHalfBandwidthAt28Bytes(t *testing.T) {
-	out := halfbw(true)
+	out := halfbw(NewSession(), true)
 	if !strings.Contains(out, "reached at 28-byte messages") {
 		t.Fatalf("half-bandwidth point is not 28 bytes:\n%s", out)
 	}
 }
 
 func TestMigSyncNearPaper(t *testing.T) {
-	out := migsync(true)
+	out := migsync(NewSession(), true)
 	// The measured value is printed as "...: X.XX us"; accept 0.2-1.0 us
 	// around the paper's 0.56 us.
 	if !strings.Contains(out, "0.") {
@@ -128,7 +129,7 @@ func TestTable3Experiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table3 runs the full 512-node mapping")
 	}
-	out := table3(true)
+	out := table3(NewSession(), true)
 	for _, marker := range []string{"average time step", "range-limited", "FFT-based convolution", "thermostat", "x (paper: ~27x)"} {
 		if !strings.Contains(out, marker) {
 			t.Fatalf("table3 missing %q:\n%s", marker, out)
@@ -140,7 +141,7 @@ func TestFig13Experiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig13 runs the full 512-node mapping")
 	}
-	out := fig13(true)
+	out := fig13(NewSession(), true)
 	for _, marker := range []string{"HTIS", "position send", "range-limited interactions", "##"} {
 		if !strings.Contains(out, marker) {
 			t.Fatalf("fig13 missing %q:\n%s", marker, out)
@@ -152,7 +153,7 @@ func TestScalingExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling runs 8-to-512-node mappings")
 	}
-	out := scaling(true)
+	out := scaling(NewSession(), true)
 	for _, marker := range []string{"512 (8x8x8)", "comm share", "speedup"} {
 		if !strings.Contains(out, marker) {
 			t.Fatalf("scaling output missing %q:\n%s", marker, out)

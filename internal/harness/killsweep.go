@@ -45,8 +45,8 @@ func killPlan(k int, at sim.Time) fault.Plan {
 
 // antonKillReduce runs the 512-node dimension-ordered all-reduce under
 // plan p and returns its completion time and the recovery tallies.
-func antonKillReduce(p fault.Plan, bytes int) (sim.Dur, machine.RecoveryStats) {
-	s := faultSim(p)
+func antonKillReduce(sess *Session, p fault.Plan, bytes int) (sim.Dur, machine.RecoveryStats) {
+	s := faultSim(sess, p)
 	m := machine.New(s, topo.NewTorus(8, 8, 8), noc.DefaultModel())
 	ar := collective.NewAllReduce(m, collective.DefaultConfig(bytes))
 	var done sim.Time
@@ -59,8 +59,8 @@ func antonKillReduce(p fault.Plan, bytes int) (sim.Dur, machine.RecoveryStats) {
 // to (1,0,0) under plan p with kills applied from t=0: with 0:X+ dead
 // this is the latency of the minimal surviving detour (the fault-free
 // value is the paper's 162 ns).
-func antonDetourPing(p fault.Plan) sim.Dur {
-	s := faultSim(p)
+func antonDetourPing(sess *Session, p fault.Plan) sim.Dur {
+	s := faultSim(sess, p)
 	m := machine.New(s, topo.NewTorus(8, 8, 8), noc.DefaultModel())
 	src := packet.Client{Node: m.Torus.ID(topo.C(0, 0, 0)), Kind: packet.Slice0}
 	dst := packet.Client{Node: m.Torus.ID(topo.C(1, 0, 0)), Kind: packet.Slice0}
@@ -73,8 +73,8 @@ func antonDetourPing(p fault.Plan) sim.Dur {
 
 // ibKillReduce runs the 512-rank recursive-doubling all-reduce under
 // plan p (link kills read as rank uplink failures).
-func ibKillReduce(p fault.Plan, bytes int) (sim.Dur, cluster.RecoveryStats) {
-	s := faultSim(p)
+func ibKillReduce(sess *Session, p fault.Plan, bytes int) (sim.Dur, cluster.RecoveryStats) {
+	s := faultSim(sess, p)
 	c := cluster.New(s, 512, cluster.DDR2InfiniBand())
 	var done sim.Time
 	c.AllReduce(bytes, func(at sim.Time) { done = at })
@@ -84,8 +84,8 @@ func ibKillReduce(p fault.Plan, bytes int) (sim.Dur, cluster.RecoveryStats) {
 
 // mdKillSteps runs a small MD mapping for steps steps under plan p and
 // returns the per-step critical-path times.
-func mdKillSteps(p fault.Plan, steps int) []sim.Dur {
-	s := faultSim(p)
+func mdKillSteps(sess *Session, p fault.Plan, steps int) []sim.Dur {
+	s := faultSim(sess, p)
 	m := machine.New(s, topo.NewTorus(4, 4, 4), noc.DefaultModel())
 	cfg := mdmap.DefaultConfig()
 	cfg.Atoms = 4000
@@ -99,7 +99,7 @@ func mdKillSteps(p fault.Plan, steps int) []sim.Dur {
 	return out
 }
 
-func killsweep(quick bool) string {
+func killsweep(sess *Session, quick bool) string {
 	out := header("Kill sweep: recovery cost vs dead links and nodes (Anton vs InfiniBand)")
 	ks := []int{0, 1, 2, 4, 6}
 	mdSteps := 6
@@ -117,15 +117,15 @@ func killsweep(quick bool) string {
 		ibAr  sim.Dur
 		ibRec cluster.RecoveryStats
 	}
-	rows := sweep(len(ks), func(i int) row {
+	rows := sweep(sess, len(ks), func(i int) row {
 		var r row
 		// Kills land mid-collective: the watchdog re-issues what the
 		// dead links swallowed.
 		p := killPlan(ks[i], killAt)
-		r.ar, r.rec = antonKillReduce(p, 32)
-		r.ibAr, r.ibRec = ibKillReduce(p, 32)
+		r.ar, r.rec = antonKillReduce(sess, p, 32)
+		r.ibAr, r.ibRec = ibKillReduce(sess, p, 32)
 		// Detour stretch is measured with the same links dead from t=0.
-		r.ping = antonDetourPing(killPlan(ks[i], 0))
+		r.ping = antonDetourPing(sess, killPlan(ks[i], 0))
 		return r
 	})
 
@@ -153,8 +153,8 @@ func killsweep(quick bool) string {
 	// A whole dead node: waits on its contributions complete degraded.
 	nodePlan := fault.Plan{Seed: 9, Watchdog: 15 * sim.Us,
 		KillNodes: []fault.NodeKill{{Node: 42, At: killAt}}}
-	nAr, nRec := antonKillReduce(nodePlan, 32)
-	nIbAr, nIbRec := ibKillReduce(nodePlan, 32)
+	nAr, nRec := antonKillReduce(sess, nodePlan, 32)
+	nIbAr, nIbRec := ibKillReduce(sess, nodePlan, 32)
 	out += fmt.Sprintf("\ndead node (node 42 killed at %.1f us):\n", sim.Dur(killAt).Us())
 	out += fmt.Sprintf("  Anton 32B reduce %.2f us  (%v)\n", nAr.Us(), nRec)
 	out += fmt.Sprintf("  IB    32B reduce %.2f us  (%v)\n", nIbAr.Us(), nIbRec)
@@ -162,9 +162,9 @@ func killsweep(quick bool) string {
 	// MD re-stabilization: compare a mid-run kill against the same kill
 	// applied at t=0 (the degraded steady state). Steps that differ are
 	// the transient the recovery machinery takes to re-converge.
-	mid := mdKillSteps(killPlan(1, mdKillAt), mdSteps)
-	steady := mdKillSteps(killPlan(1, 0), mdSteps)
-	intact := mdKillSteps(killPlan(0, 0), mdSteps)
+	mid := mdKillSteps(sess, killPlan(1, mdKillAt), mdSteps)
+	steady := mdKillSteps(sess, killPlan(1, 0), mdSteps)
+	intact := mdKillSteps(sess, killPlan(0, 0), mdSteps)
 	recoverSteps := 0
 	for i := range mid {
 		if mid[i] != steady[i] {
@@ -186,5 +186,5 @@ func killsweep(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "killsweep", Title: "hard-failure recovery cost vs dead links/nodes", Run: killsweep})
+	register(Experiment{ID: "killsweep", Title: "hard-failure recovery cost vs dead links/nodes", run: killsweep})
 }

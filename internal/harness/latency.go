@@ -30,9 +30,14 @@ func hopPath(h int) topo.Coord {
 }
 
 // OneWayLatency measures a single counted remote write from slice0 at the
-// origin to slice0 at dst on a fresh 512-node machine.
+// origin to slice0 at dst on a fresh 512-node machine configured from the
+// process-wide defaults.
 func OneWayLatency(dst topo.Coord, bytes int) sim.Dur {
-	s := NewSim()
+	return oneWayLatency(NewSession(), dst, bytes)
+}
+
+func oneWayLatency(sess *Session, dst topo.Coord, bytes int) sim.Dur {
+	s := sess.NewSim()
 	m := machine.Default512(s)
 	return measureWrite(m, topo.C(0, 0, 0), dst, bytes, false)
 }
@@ -62,20 +67,20 @@ func measureWrite(m *machine.Machine, src, dst topo.Coord, bytes int, bidirectio
 	return lat
 }
 
-func fig5(quick bool) string {
+func fig5(sess *Session, quick bool) string {
 	out := header("Figure 5: one-way counted remote write latency vs network hops (8x8x8)")
 	t := NewTable("hops", "0B uni (ns)", "0B bidir (ns)", "256B uni (ns)", "256B bidir (ns)")
 	maxHops := 12
 	// Every hop count is measured on its own fresh machine, so the hop
 	// sweep runs on the experiment worker pool.
-	rows := sweep(maxHops+1, func(h int) [4]string {
+	rows := sweep(sess, maxHops+1, func(h int) [4]string {
 		dst := hopPath(h)
 		var cells [4]string
 		for k, c := range []struct {
 			bytes int
 			bidir bool
 		}{{0, false}, {0, true}, {256, false}, {256, true}} {
-			s := NewSim()
+			s := sess.NewSim()
 			m := machine.Default512(s)
 			lat := measureWrite(m, topo.C(0, 0, 0), dst, c.bytes, c.bidir)
 			cells[k] = fmt.Sprintf("%.1f", lat.Ns())
@@ -93,7 +98,7 @@ func fig5(quick bool) string {
 	return out
 }
 
-func fig6(quick bool) string {
+func fig6(sess *Session, quick bool) string {
 	model := noc.DefaultModel()
 	out := header("Figure 6: breakdown of single-X-hop counted remote write latency")
 	t := NewTable("component", "model (ns)", "paper (ns)")
@@ -102,7 +107,7 @@ func fig6(quick bool) string {
 	t.Row("link adapters + passive torus wire (both sides)", fmt.Sprintf("%.0f", model.AdapterPair[topo.X].Ns()), "20+20")
 	t.Row("destination on-chip ring traversal (3 router hops)", fmt.Sprintf("%.0f", model.DstRing.Ns()), "25")
 	t.Row("memory write + counter increment + successful poll", fmt.Sprintf("%.0f", model.Deliver.Ns()), "36")
-	total := OneWayLatency(topo.C(1, 0, 0), 0)
+	total := oneWayLatency(sess, topo.C(1, 0, 0), 0)
 	t.Row("end-to-end (measured on the event simulator)", fmt.Sprintf("%.0f", total.Ns()), "162")
 	out += t.String()
 	return out
@@ -131,10 +136,10 @@ var table1Survey = []struct {
 	{"SR8000", 9.9, "2001"},
 }
 
-func table1(quick bool) string {
+func table1(sess *Session, quick bool) string {
 	out := header("Table 1: survey of published inter-node software-to-software latency")
 	t := NewTable("machine", "latency (us)", "date")
-	anton := OneWayLatency(topo.C(1, 0, 0), 0)
+	anton := oneWayLatency(sess, topo.C(1, 0, 0), 0)
 	t.Row("Anton (measured here)", fmt.Sprintf("%.2f", anton.Us()), "2009")
 	for _, row := range table1Survey {
 		t.Row(row.machine, fmt.Sprintf("%.2f", row.us), row.date)
@@ -146,7 +151,7 @@ func table1(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "fig5", Title: "latency vs hops", Run: fig5})
-	register(Experiment{ID: "fig6", Title: "single-hop latency breakdown", Run: fig6})
-	register(Experiment{ID: "table1", Title: "latency survey", Run: table1})
+	register(Experiment{ID: "fig5", Title: "latency vs hops", run: fig5})
+	register(Experiment{ID: "fig6", Title: "single-hop latency breakdown", run: fig6})
+	register(Experiment{ID: "table1", Title: "latency survey", run: table1})
 }

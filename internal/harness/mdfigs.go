@@ -19,9 +19,9 @@ func agedStepTime(mp *mdmap.Mapping, age int) sim.Dur {
 	return (a.Total + b.Total) / 2
 }
 
-func fig11(quick bool) string {
+func fig11(sess *Session, quick bool) string {
 	out := header("Figure 11: step time evolution with and without bond program regeneration")
-	s := NewSim()
+	s := sess.NewSim()
 	m := machine.Default512(s)
 	cfg := mdmap.DefaultConfig()
 	cfg.MigrationInterval = 0
@@ -58,7 +58,7 @@ func fig11(quick bool) string {
 	return out
 }
 
-func fig12(quick bool) string {
+func fig12(sess *Session, quick bool) string {
 	out := header("Figure 12: average step time vs migration interval (17,758 particles)")
 	intervals := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if quick {
@@ -67,9 +67,9 @@ func fig12(quick bool) string {
 	t := NewTable("migration interval (steps)", "average step time (us)")
 	// Each interval builds and steps its own machine: the sweep points are
 	// independent and run on the experiment worker pool.
-	avgs := sweep(len(intervals), func(k int) sim.Dur {
+	avgs := sweep(sess, len(intervals), func(k int) sim.Dur {
 		iv := intervals[k]
-		s := NewSim()
+		s := sess.NewSim()
 		m := machine.Default512(s)
 		cfg := mdmap.DefaultConfig()
 		cfg.Atoms = 17758
@@ -95,9 +95,9 @@ func fig12(quick bool) string {
 	return out
 }
 
-func fig13(quick bool) string {
+func fig13(sess *Session, quick bool) string {
 	out := header("Figure 13: machine activity for two time steps (logic analyzer)")
-	s := NewSim()
+	s := sess.NewSim()
 	m := machine.Default512(s)
 	cfg := mdmap.DefaultConfig()
 	cfg.MigrationInterval = 0
@@ -131,7 +131,7 @@ func attachLinkTrace(m *machine.Machine, tr *trace.Tracer) {
 }
 
 func init() {
-	register(Experiment{ID: "fig11", Title: "bond program regeneration", Run: fig11})
-	register(Experiment{ID: "fig12", Title: "migration interval sweep", Run: fig12})
-	register(Experiment{ID: "fig13", Title: "activity timeline", Run: fig13})
+	register(Experiment{ID: "fig11", Title: "bond program regeneration", run: fig11})
+	register(Experiment{ID: "fig12", Title: "migration interval sweep", run: fig12})
+	register(Experiment{ID: "fig13", Title: "activity timeline", run: fig13})
 }

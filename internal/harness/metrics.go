@@ -100,8 +100,8 @@ type benchMetrics struct {
 // measuredStages runs one counted remote write from the origin to dst on
 // a fresh instrumented 512-node machine and returns the reconstructed
 // lifecycle's stage attribution and end-to-end latency.
-func measuredStages(dst topo.Coord, bytes int) ([]metrics.Stage, sim.Dur) {
-	s := NewSim()
+func measuredStages(sess *Session, dst topo.Coord, bytes int) ([]metrics.Stage, sim.Dur) {
+	s := sess.NewSim()
 	rec := metrics.Attach(s)
 	m := machine.Default512(s)
 	measureWrite(m, topo.C(0, 0, 0), dst, bytes, false)
@@ -143,15 +143,15 @@ var crossRoutes = []struct {
 // point, merged in index order) plus every delivery of a 512-node 32 B
 // all-reduce. Returns the histogram, the all-reduce recorder (for link,
 // counter, and phase reporting), and the all-reduce torus used.
-func antonHist(quick bool) (*metrics.Hist, *metrics.Recorder, topo.Torus) {
+func antonHist(sess *Session, quick bool) (*metrics.Hist, *metrics.Recorder, topo.Torus) {
 	maxHops := 12
 	if quick {
 		maxHops = 4
 	}
 	sizes := []int{0, 256}
-	shards := sweep((maxHops+1)*len(sizes), func(i int) *metrics.Hist {
+	shards := sweep(sess, (maxHops+1)*len(sizes), func(i int) *metrics.Hist {
 		h, b := i/len(sizes), sizes[i%len(sizes)]
-		s := NewSim()
+		s := sess.NewSim()
 		rec := metrics.Attach(s)
 		m := machine.Default512(s)
 		measureWrite(m, topo.C(0, 0, 0), hopPath(h), b, true)
@@ -168,7 +168,7 @@ func antonHist(quick bool) (*metrics.Hist, *metrics.Recorder, topo.Torus) {
 	if quick {
 		tor = topo.NewTorus(4, 4, 4)
 	}
-	s := NewSim()
+	s := sess.NewSim()
 	rec := metrics.Attach(s)
 	m := machine.New(s, tor, noc.DefaultModel())
 	ar := collective.NewAllReduce(m, collective.DefaultConfig(32))
@@ -180,8 +180,8 @@ func antonHist(quick bool) (*metrics.Hist, *metrics.Recorder, topo.Torus) {
 
 // clusterHist builds the InfiniBand message-latency histogram from every
 // message of a recursive-doubling 32 B all-reduce across ranks ranks.
-func clusterHist(ranks int) *metrics.Hist {
-	s := NewSim()
+func clusterHist(sess *Session, ranks int) *metrics.Hist {
+	s := sess.NewSim()
 	rec := metrics.Attach(s)
 	c := cluster.New(s, ranks, cluster.DDR2InfiniBand())
 	c.AllReduce(32, nil)
@@ -194,8 +194,8 @@ func clusterHist(ranks int) *metrics.Hist {
 // traceScenario runs the small scripted machine the chrome-trace export
 // covers: a 2x2x2 torus performing two counted remote writes (one and
 // three hops) followed by a 32 B all-reduce.
-func traceScenario() *metrics.Recorder {
-	s := NewSim()
+func traceScenario(sess *Session) *metrics.Recorder {
+	s := sess.NewSim()
 	rec := metrics.Attach(s)
 	m := machine.New(s, topo.NewTorus(2, 2, 2), noc.DefaultModel())
 	measureWrite(m, topo.C(0, 0, 0), topo.C(1, 0, 0), 0, false)
@@ -212,9 +212,14 @@ func traceScenario() *metrics.Recorder {
 	return rec
 }
 
-// MetricsArtifacts runs the metrics experiment and returns the rendered
-// report, the BENCH_metrics.json payload, and the chrome-trace export.
+// MetricsArtifacts runs the metrics experiment with a session snapshotted
+// from the process-wide defaults and returns the rendered report, the
+// BENCH_metrics.json payload, and the chrome-trace export.
 func MetricsArtifacts(quick bool) Artifacts {
+	return metricsArtifacts(NewSession(), quick)
+}
+
+func metricsArtifacts(sess *Session, quick bool) Artifacts {
 	model := noc.DefaultModel()
 	var b strings.Builder
 	bench := benchMetrics{Experiment: "metrics", Quick: quick}
@@ -224,7 +229,7 @@ func MetricsArtifacts(quick bool) Artifacts {
 	// Figure 6, measured: the observed stage attribution of the one-hop
 	// X+ 0-byte write against the calibrated closed form.
 	b.WriteString("\nFigure 6 (measured): stage attribution of the single-X-hop 0 B remote write\n")
-	oneHop, e2e := measuredStages(topo.C(1, 0, 0), 0)
+	oneHop, e2e := measuredStages(sess, topo.C(1, 0, 0), 0)
 	oneHopCal := model.Stages([topo.NumDims]int{1, 0, 0}, packet.Slice0, packet.Slice0, packet.HeaderBytes)
 	t := NewTable("stage", "measured (ns)", "calibrated (ns)")
 	for i, st := range oneHop {
@@ -255,7 +260,7 @@ func MetricsArtifacts(quick bool) Artifacts {
 	ct := NewTable("route", "bytes", "stages", "measured e2e (ns)", "calibrated e2e (ns)", "agree")
 	tor := topo.NewTorus(8, 8, 8)
 	for _, rc := range crossRoutes {
-		meas, me2e := measuredStages(rc.dst, rc.bytes)
+		meas, me2e := measuredStages(sess, rc.dst, rc.bytes)
 		hops := tor.HopsByDim(topo.C(0, 0, 0), rc.dst)
 		wire := packet.HeaderBytes + rc.bytes
 		cal := model.Stages(hops, packet.Slice0, packet.Slice0, wire)
@@ -272,7 +277,7 @@ func MetricsArtifacts(quick bool) Artifacts {
 	b.WriteString(ct.String())
 
 	// Latency distributions.
-	anton, arRec, arTor := antonHist(quick)
+	anton, arRec, arTor := antonHist(sess, quick)
 	b.WriteString(fmt.Sprintf("\nAnton packet latency distribution (ping sweep + %v 32 B all-reduce deliveries)\n", arTor))
 	b.WriteString(anton.Summary() + "\n")
 	b.WriteString(anton.String())
@@ -282,7 +287,7 @@ func MetricsArtifacts(quick bool) Artifacts {
 	if quick {
 		ranks = 64
 	}
-	ib := clusterHist(ranks)
+	ib := clusterHist(sess, ranks)
 	b.WriteString(fmt.Sprintf("\nInfiniBand message latency distribution (%d-rank recursive-doubling 32 B all-reduce)\n", ranks))
 	b.WriteString(ib.Summary() + "\n")
 	b.WriteString(ib.String())
@@ -330,10 +335,11 @@ func MetricsArtifacts(quick bool) Artifacts {
 	}
 	js = append(js, '\n')
 
-	return Artifacts{Report: b.String(), BenchJSON: js, Trace: traceScenario().ChromeTrace()}
+	return Artifacts{Report: b.String(), BenchJSON: js, Trace: traceScenario(sess).ChromeTrace()}
 }
 
 func init() {
 	register(Experiment{ID: "metrics", Title: "measured-latency observability report",
-		Run: func(quick bool) string { return MetricsArtifacts(quick).Report }})
+		run:       func(s *Session, quick bool) string { return metricsArtifacts(s, quick).Report },
+		artifacts: metricsArtifacts})
 }

@@ -15,8 +15,8 @@ import (
 // the origin to slice0 of a node `hops` X hops away, split into count
 // equal messages. Messages larger than the 256-byte payload limit are
 // carried in multiple packets, exactly as Anton software would send them.
-func antonTransfer(hops, totalBytes, count int) sim.Dur {
-	s := NewSim()
+func antonTransfer(sess *Session, hops, totalBytes, count int) sim.Dur {
+	s := sess.NewSim()
 	m := machine.Default512(s)
 	dst := packet.Client{Node: m.Torus.ID(topo.C(hops, 0, 0)), Kind: packet.Slice0}
 	src := m.Client(packet.Client{Node: 0, Kind: packet.Slice0})
@@ -47,8 +47,8 @@ func antonTransfer(hops, totalBytes, count int) sim.Dur {
 	return sim.Dur(done)
 }
 
-func infinibandTransfer(totalBytes, count int) sim.Dur {
-	s := NewSim()
+func infinibandTransfer(sess *Session, totalBytes, count int) sim.Dur {
+	s := sess.NewSim()
 	c := cluster.New(s, 2, cluster.DDR2InfiniBand())
 	var done sim.Time
 	c.TransferManyMessages(0, 1, totalBytes, count, func(at sim.Time) { done = at })
@@ -56,15 +56,15 @@ func infinibandTransfer(totalBytes, count int) sim.Dur {
 	return sim.Dur(done)
 }
 
-func fig7(quick bool) string {
+func fig7(sess *Session, quick bool) string {
 	out := header("Figure 7: time to transfer 2 KB vs number of messages")
 	counts := []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
 	t := NewTable("messages", "Anton 1 hop (us)", "Anton 4 hops (us)", "InfiniBand (us)",
 		"A1 norm", "A4 norm", "IB norm")
 	type transfer struct{ a1, a4, ib sim.Dur }
-	rs := sweep(len(counts), func(i int) transfer {
+	rs := sweep(sess, len(counts), func(i int) transfer {
 		n := counts[i]
-		return transfer{antonTransfer(1, 2048, n), antonTransfer(4, 2048, n), infinibandTransfer(2048, n)}
+		return transfer{antonTransfer(sess, 1, 2048, n), antonTransfer(sess, 4, 2048, n), infinibandTransfer(sess, 2048, n)}
 	})
 	base1, base4, baseIB := rs[0].a1, rs[0].a4, rs[0].ib
 	for i, n := range counts {
@@ -81,7 +81,7 @@ func fig7(quick bool) string {
 	return out
 }
 
-func halfbw(quick bool) string {
+func halfbw(sess *Session, quick bool) string {
 	model := noc.DefaultModel()
 	out := header("Half-bandwidth message size (Section III.D)")
 	peak := 256.0 * 8 / model.LinkService(288).Ns()
@@ -106,6 +106,6 @@ func halfbw(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "fig7", Title: "2KB transfer vs message count", Run: fig7})
-	register(Experiment{ID: "halfbw", Title: "half-bandwidth message size", Run: halfbw})
+	register(Experiment{ID: "fig7", Title: "2KB transfer vs message count", run: fig7})
+	register(Experiment{ID: "halfbw", Title: "half-bandwidth message size", run: halfbw})
 }

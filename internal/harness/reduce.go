@@ -14,8 +14,8 @@ import (
 
 // antonAllReduce measures one dimension-ordered global all-reduce on a
 // fresh machine of the given torus.
-func antonAllReduce(tor topo.Torus, bytes int) sim.Dur {
-	s := NewSim()
+func antonAllReduce(sess *Session, tor topo.Torus, bytes int) sim.Dur {
+	s := sess.NewSim()
 	m := machine.New(s, tor, noc.DefaultModel())
 	ar := collective.NewAllReduce(m, collective.DefaultConfig(bytes))
 	var done sim.Time
@@ -24,7 +24,7 @@ func antonAllReduce(tor topo.Torus, bytes int) sim.Dur {
 	return sim.Dur(done)
 }
 
-func table2(quick bool) string {
+func table2(sess *Session, quick bool) string {
 	out := header("Table 2: global all-reduce times for various Anton configurations")
 	configs := []struct {
 		tor   topo.Torus
@@ -38,8 +38,8 @@ func table2(quick bool) string {
 	}
 	t := NewTable("nodes (torus)", "0B reduce (us)", "paper", "32B reduce (us)", "paper")
 	for _, c := range configs {
-		z := antonAllReduce(c.tor, 0)
-		w := antonAllReduce(c.tor, 32)
+		z := antonAllReduce(sess, c.tor, 0)
+		w := antonAllReduce(sess, c.tor, 32)
 		t.Row(fmt.Sprintf("%d (%v)", c.tor.Nodes(), c.tor),
 			fmt.Sprintf("%.2f", z.Us()), fmt.Sprintf("%.2f", c.paper[0]),
 			fmt.Sprintf("%.2f", w.Us()), fmt.Sprintf("%.2f", c.paper[1]))
@@ -47,8 +47,8 @@ func table2(quick bool) string {
 	out += t.String()
 
 	// The comparisons of Section IV.B.4.
-	anton512 := antonAllReduce(topo.NewTorus(8, 8, 8), 32)
-	s := NewSim()
+	anton512 := antonAllReduce(sess, topo.NewTorus(8, 8, 8), 32)
+	s := sess.NewSim()
 	ib := cluster.New(s, 512, cluster.DDR2InfiniBand())
 	var ibDone sim.Time
 	ib.AllReduce(32, func(at sim.Time) { ibDone = at })
@@ -60,9 +60,9 @@ func table2(quick bool) string {
 	return out
 }
 
-func migsync(quick bool) string {
+func migsync(sess *Session, quick bool) string {
 	out := header("Migration synchronization step (Section IV.B.5)")
-	s := NewSim()
+	s := sess.NewSim()
 	m := machine.Default512(s)
 	d := mdmap.MeasureMigrationSync(m)
 	out += fmt.Sprintf("in-order multicast write to all 26 nearest neighbours, all nodes\nsimultaneously: %.2f us (paper: 0.56 us)\n", d.Us())
@@ -70,6 +70,6 @@ func migsync(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "table2", Title: "global all-reduce times", Run: table2})
-	register(Experiment{ID: "migsync", Title: "migration synchronization step", Run: migsync})
+	register(Experiment{ID: "table2", Title: "global all-reduce times", run: table2})
+	register(Experiment{ID: "migsync", Title: "migration synchronization step", run: migsync})
 }

@@ -15,7 +15,7 @@ import (
 // communication latency, not compute throughput. The same 23,558-atom
 // system is mapped onto machines from 64 to 512 nodes; per-node compute
 // shrinks 8x while the communication share of the step grows.
-func scaling(quick bool) string {
+func scaling(sess *Session, quick bool) string {
 	out := header("Strong scaling: fixed 23,558-atom system vs machine size")
 	// The distributed FFT requires cubic machines, so the sweep doubles
 	// the torus side: 8, 64, 512 nodes with a matching grid resolution.
@@ -34,9 +34,9 @@ func scaling(quick bool) string {
 	}
 	// Each machine size maps and steps its own simulator instance; the
 	// sweep runs on the experiment worker pool.
-	pts := sweep(len(configs), func(k int) point {
+	pts := sweep(sess, len(configs), func(k int) point {
 		c := configs[k]
-		s := NewSim()
+		s := sess.NewSim()
 		m := machine.New(s, c.tor, noc.DefaultModel())
 		cfg := mdmap.DefaultConfig()
 		cfg.MigrationInterval = 0
@@ -61,5 +61,5 @@ func scaling(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "scaling", Title: "strong scaling of a fixed problem", Run: scaling})
+	register(Experiment{ID: "scaling", Title: "strong scaling of a fixed problem", run: scaling})
 }

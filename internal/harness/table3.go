@@ -12,8 +12,8 @@ import (
 // antonStepTimes runs the DHFR benchmark mapping on a 512-node machine and
 // returns averaged range-limited and long-range step timings (migration
 // disabled, matching the per-step-type profiling of Table 3).
-func antonStepTimes(atoms int) (rl, lr mdmap.StepTiming) {
-	s := NewSim()
+func antonStepTimes(sess *Session, atoms int) (rl, lr mdmap.StepTiming) {
+	s := sess.NewSim()
 	m := machine.Default512(s)
 	cfg := mdmap.DefaultConfig()
 	cfg.Atoms = atoms
@@ -58,15 +58,16 @@ func antonStepTimes(atoms int) (rl, lr mdmap.StepTiming) {
 // in input order; the per-size results are identical for any worker
 // count. This is the workload behind BenchmarkTable3Sweep.
 func Table3Sweep(atomCounts []int) []sim.Dur {
-	return sweep(len(atomCounts), func(k int) sim.Dur {
-		rl, lr := antonStepTimes(atomCounts[k])
+	sess := NewSession()
+	return sweep(sess, len(atomCounts), func(k int) sim.Dur {
+		rl, lr := antonStepTimes(sess, atomCounts[k])
 		return (rl.Total + lr.Total) / 2
 	})
 }
 
-func table3(quick bool) string {
+func table3(sess *Session, quick bool) string {
 	out := header("Table 3: critical-path communication and total time, DHFR on 512 nodes")
-	rl, lr := antonStepTimes(23558)
+	rl, lr := antonStepTimes(sess, 23558)
 	avgComm := (rl.Comm + lr.Comm) / 2
 	avgTotal := (rl.Total + lr.Total) / 2
 
@@ -76,8 +77,8 @@ func table3(quick bool) string {
 	fftComm := lr.FFT - 2*sim.Us // ~2us of FFT arithmetic per node chain
 	thermoComm := lr.Thermo - 500*sim.Ns
 
-	des := cluster.MeasureSim(512, cluster.DDR2InfiniBand(), NewSim)
-	d := cluster.NewDesmond(cluster.New(NewSim(), 512, cluster.DDR2InfiniBand()))
+	des := cluster.MeasureSim(512, cluster.DDR2InfiniBand(), sess.NewSim)
+	d := cluster.NewDesmond(cluster.New(sess.NewSim(), 512, cluster.DDR2InfiniBand()))
 	desRLTotal := des.RangeLimitedComm + d.RangeLimitedCompute
 	desLRTotal := des.LongRangeComm + d.LongRangeCompute
 	desAvgComm := (des.RangeLimitedComm + des.LongRangeComm) / 2
@@ -107,5 +108,5 @@ func table3(quick bool) string {
 }
 
 func init() {
-	register(Experiment{ID: "table3", Title: "Anton vs Desmond step times", Run: table3})
+	register(Experiment{ID: "table3", Title: "Anton vs Desmond step times", run: table3})
 }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func res(s string) Result { return Result{Response: []byte(s)} }
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(0)
+	e1, o1 := c.Get("d1")
+	if o1 != Miss {
+		t.Fatalf("first lookup: %v, want miss", o1)
+	}
+	e2, o2 := c.Get("d1")
+	if o2 != Join {
+		t.Fatalf("concurrent lookup: %v, want join", o2)
+	}
+	if e2 != e1 {
+		t.Fatal("joiner got a different entry")
+	}
+	done := make(chan Result)
+	go func() {
+		<-e2.Done()
+		r, ok := e2.Result()
+		if !ok {
+			t.Error("joined entry reported aborted")
+		}
+		done <- r
+	}()
+	c.Complete(e1, res("payload"))
+	if got := <-done; string(got.Response) != "payload" {
+		t.Fatalf("joiner saw %q", got.Response)
+	}
+	if _, o := c.Get("d1"); o != Hit {
+		t.Fatalf("post-completion lookup: %v, want hit", o)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Joins != 1 {
+		t.Fatalf("stats %+v, want 1/1/1", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	for i := 1; i <= 2; i++ {
+		e, _ := c.Get(fmt.Sprintf("d%d", i))
+		c.Complete(e, res(fmt.Sprintf("r%d", i)))
+	}
+	// Touch d1 so d2 is the LRU victim.
+	if _, o := c.Get("d1"); o != Hit {
+		t.Fatal("d1 should be cached")
+	}
+	e3, _ := c.Get("d3")
+	c.Complete(e3, res("r3"))
+	if _, o := c.Get("d2"); o != Miss {
+		t.Fatal("d2 should have been evicted (LRU)")
+	}
+	if _, o := c.Get("d1"); o != Hit {
+		t.Fatal("recently-used d1 should have survived")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+}
+
+// In-flight entries are never evicted, even when completed entries
+// overflow the bound around them.
+func TestCacheInFlightNotEvicted(t *testing.T) {
+	c := NewCache(1)
+	inflight, _ := c.Get("slow")
+	for i := 0; i < 3; i++ {
+		e, _ := c.Get(fmt.Sprintf("d%d", i))
+		c.Complete(e, res("x"))
+	}
+	if _, o := c.Get("slow"); o != Join {
+		t.Fatal("in-flight entry was evicted")
+	}
+	c.Complete(inflight, res("slow-result"))
+	if _, o := c.Get("slow"); o != Hit {
+		t.Fatal("completed former in-flight entry should hit")
+	}
+}
+
+func TestCacheAbort(t *testing.T) {
+	c := NewCache(0)
+	e, _ := c.Get("d")
+	joined, _ := c.Get("d")
+	c.Abort(e)
+	<-joined.Done()
+	if _, ok := joined.Result(); ok {
+		t.Fatal("aborted entry reported a result")
+	}
+	// The digest is free again: the next lookup owns a fresh computation.
+	e2, o := c.Get("d")
+	if o != Miss {
+		t.Fatalf("post-abort lookup: %v, want miss", o)
+	}
+	c.Complete(e2, res("recomputed"))
+	if r, ok := c.Peek("d"); !ok || string(r.Response) != "recomputed" {
+		t.Fatalf("recompute after abort: %q, %v", r.Response, ok)
+	}
+}
+
+func TestCacheSeedAndSnapshot(t *testing.T) {
+	c := NewCache(0)
+	c.Seed("b", Result{Response: []byte("rb"), Bench: []byte("bench")})
+	c.Seed("a", res("ra"))
+	c.Seed("a", res("ignored")) // existing entries win
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].Digest != "a" || snap[1].Digest != "b" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if string(snap[0].ResultOf().Response) != "ra" {
+		t.Fatalf("seed overwrote an existing entry: %q", snap[0].ResultOf().Response)
+	}
+	if string(snap[1].ResultOf().Bench) != "bench" {
+		t.Fatal("snapshot dropped the bench artifact")
+	}
+	if _, o := c.Get("a"); o != Hit {
+		t.Fatal("seeded entry should hit")
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"anton/internal/checkpoint"
+)
+
+// TestCheckpointRestore: a server with a checkpoint path persists every
+// completed result; a restarted server answers the same requests from
+// the restored cache — byte-identically, without recomputing — and
+// serves the restored machine-readable artifacts. The metrics
+// experiment is used because it is the one with artifacts, so the test
+// covers all three persisted payloads (response, bench, trace).
+func TestCheckpointRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the metrics experiment twice across a restart")
+	}
+	ckpt := filepath.Join(t.TempDir(), "serve.ckpt")
+	req := Request{Experiment: "metrics", Quick: true}
+
+	srv1, err := New(Config{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	o, fresh := postRun(t, ts1.URL, req)
+	if o != Miss {
+		t.Fatalf("first run: outcome %v, want miss", o)
+	}
+	n, err := Normalize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench1 := getArtifact(t, ts1.URL, n.Digest(), "bench")
+	trace1 := getArtifact(t, ts1.URL, n.Digest(), "trace")
+	ts1.Close()
+	srv1.Close()
+
+	srv2, err := New(Config{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if st := srv2.cache.Stats(); st.Entries != 1 {
+		t.Fatalf("restored cache holds %d entries, want 1", st.Entries)
+	}
+	o2, restored := postRun(t, ts2.URL, req)
+	if o2 != Hit {
+		t.Fatalf("post-restart request: outcome %v, want hit (restored caches must not recompute)", o2)
+	}
+	if !bytes.Equal(fresh, restored) {
+		t.Fatalf("restored response differs from the original:\nbefore: %s\nafter:  %s", fresh, restored)
+	}
+	if got := getArtifact(t, ts2.URL, n.Digest(), "bench"); !bytes.Equal(bench1, got) {
+		t.Fatal("restored bench artifact differs")
+	}
+	if got := getArtifact(t, ts2.URL, n.Digest(), "trace"); !bytes.Equal(trace1, got) {
+		t.Fatal("restored trace artifact differs")
+	}
+}
+
+// TestCheckpointKindMismatch: a checkpoint written by another subsystem
+// is refused, not silently misread.
+func TestCheckpointKindMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "other.ckpt")
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.cfg.CheckpointPath = ckpt
+	srv.persist()
+	st, err := New(Config{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatalf("valid empty checkpoint refused: %v", err)
+	}
+	st.Close()
+
+	// Overwrite it with a checkpoint another subsystem wrote.
+	if err := (&checkpoint.State{Kind: "mdsim", Step: 1}).WriteFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CheckpointPath: ckpt}); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+}
+
+func getArtifact(t *testing.T, url, digest, kind string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/api/v1/artifacts/" + digest + "/" + kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET artifact %s: %d %s", kind, resp.StatusCode, body)
+	}
+	return body
+}

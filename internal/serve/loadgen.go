@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator drives a deterministic request mix against a
+// running server and reports client-observed latency and throughput.
+// Determinism is the point: the i-th request of a run is a pure
+// function of (seed, i), so two runs of the same config issue the
+// same multiset of requests, and — because every simulation result is
+// bit-deterministic — receive the same multiset of response bodies.
+// The order-independent checksum over those bodies is therefore a
+// machine-independent fingerprint of the whole serving path
+// (normalization, digesting, scheduling, caching, rendering), which is
+// what BENCH_serve.json pins exactly while the latency numbers are
+// gated only within a tolerance.
+
+// DefaultMix is the standard load mix: cheap experiments at both
+// fidelities, a faulted variant, and spellings that differ only in
+// workers/metrics — which share a digest by design, so a correct cache
+// turns them into hits.
+func DefaultMix() []Request {
+	return []Request{
+		{Experiment: "fastpath", Fidelity: "analytic", Quick: true},
+		{Experiment: "fig5", Quick: true},
+		{Experiment: "fig6", Quick: true},
+		{Experiment: "table1", Quick: true},
+		{Experiment: "table2", Quick: true},
+		{Experiment: "fig6", Faults: "seed=7,corrupt=1e-4,retry=250ns", Quick: true},
+		// Same digests as the fig5/fastpath entries above: workers and
+		// metrics never change a response byte.
+		{Experiment: "fig5", Quick: true, Workers: 4, Metrics: true},
+		{Experiment: "fastpath", Fidelity: "analytic", Quick: true, Workers: 2},
+	}
+}
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	Requests int
+	Clients  int
+	Seed     uint64
+	Mix      []Request // nil: DefaultMix
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Mix == nil {
+		c.Mix = DefaultMix()
+	}
+	return c
+}
+
+// LoadStats is one load run's outcome. The deterministic fields
+// (Requests, Errors, DistinctDigests, Checksum) are gated exactly by
+// benchgate; the wall-clock fields within a tolerance.
+type LoadStats struct {
+	Requests        int     `json:"requests"`
+	Clients         int     `json:"clients"`
+	Errors          int     `json:"errors"`
+	DistinctDigests int     `json:"distinct_digests"`
+	Checksum        string  `json:"checksum"`
+	CacheHits       int     `json:"cache_hits"`
+	CacheMisses     int     `json:"cache_misses"`
+	CacheJoins      int     `json:"cache_joins"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	MeanMs          float64 `json:"mean_ms"`
+	WallMs          float64 `json:"wall_ms"`
+	RPS             float64 `json:"rps"`
+}
+
+// splitmix64 is the standard 64-bit mix; request i draws its mix entry
+// from splitmix64(seed + i), so the sequence is reproducible and has no
+// shared-generator ordering dependence between concurrent clients.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RunLoad issues cfg.Requests requests from cfg.Clients concurrent
+// clients against baseURL (an /api/v1 server root, no trailing slash)
+// and summarizes what the clients observed.
+func RunLoad(baseURL string, client *http.Client, cfg LoadConfig) (LoadStats, error) {
+	cfg = cfg.withDefaults()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	bodies := make([][]byte, len(cfg.Mix))
+	digests := map[string]bool{}
+	for i, r := range cfg.Mix {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return LoadStats{}, err
+		}
+		bodies[i] = b
+		n, err := Normalize(r)
+		if err != nil {
+			return LoadStats{}, fmt.Errorf("loadgen: mix entry %d: %w", i, err)
+		}
+		digests[n.Digest()] = true
+	}
+
+	latencies := make([]time.Duration, cfg.Requests)
+	var checksum, errs atomic.Uint64
+	var hits, misses, joins atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				pick := int(splitmix64(cfg.Seed+uint64(i)) % uint64(len(cfg.Mix)))
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/run", "application/json", bytes.NewReader(bodies[pick]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				latencies[i] = time.Since(t0)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				switch Outcome(resp.Header.Get(CacheHeader)) {
+				case Hit:
+					hits.Add(1)
+				case Miss:
+					misses.Add(1)
+				case Join:
+					joins.Add(1)
+				}
+				h := fnv.New64a()
+				h.Write(body)
+				checksum.Add(h.Sum64())
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / 1e6
+	}
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	st := LoadStats{
+		Requests:        cfg.Requests,
+		Clients:         cfg.Clients,
+		Errors:          int(errs.Load()),
+		DistinctDigests: len(digests),
+		Checksum:        fmt.Sprintf("%016x", checksum.Load()),
+		CacheHits:       int(hits.Load()),
+		CacheMisses:     int(misses.Load()),
+		CacheJoins:      int(joins.Load()),
+		P50Ms:           pct(0.50),
+		P99Ms:           pct(0.99),
+		MeanMs:          float64(sum) / float64(cfg.Requests) / 1e6,
+		WallMs:          float64(wall) / 1e6,
+	}
+	if wall > 0 {
+		st.RPS = float64(cfg.Requests) / wall.Seconds()
+	}
+	return st, nil
+}
+
+// BenchSchema versions the BENCH_serve.json layout.
+const BenchSchema = "anton-serve/v1"
+
+// BenchFile is the BENCH_serve.json payload: one committed load run.
+type BenchFile struct {
+	Schema string    `json:"schema"`
+	Seed   uint64    `json:"seed"`
+	Result LoadStats `json:"result"`
+}
+
+// CompareBench gates a fresh load run against the committed baseline:
+// the deterministic fields exactly (a checksum mismatch means some
+// response byte changed — a model change or a serving bug), the
+// latency/throughput fields within the relative tolerance. It prints
+// the verdict table and reports whether the gate passes.
+func CompareBench(base, fresh BenchFile, tolerance float64) bool {
+	b, f := base.Result, fresh.Result
+	ok := true
+	fail := func(format string, args ...interface{}) {
+		fmt.Printf("serve gate FAIL: "+format+"\n", args...)
+		ok = false
+	}
+	if base.Seed != fresh.Seed {
+		fail("seed %d, baseline pinned %d", fresh.Seed, base.Seed)
+	}
+	if f.Requests != b.Requests || f.Clients != b.Clients {
+		fail("ran %d requests / %d clients, baseline pinned %d / %d", f.Requests, f.Clients, b.Requests, b.Clients)
+	}
+	if f.Errors != 0 {
+		fail("%d request errors (baseline requires 0)", f.Errors)
+	}
+	if f.DistinctDigests != b.DistinctDigests {
+		fail("mix spans %d distinct digests, baseline pinned %d", f.DistinctDigests, b.DistinctDigests)
+	}
+	if f.Checksum != b.Checksum {
+		fail("response checksum %s, baseline pinned %s (a response byte changed; model change? re-baseline with -update)",
+			f.Checksum, b.Checksum)
+	}
+	// The hit-vs-join split is a scheduling race, but single-flight
+	// means each distinct digest computes exactly once: misses are
+	// pinned to the digest count, everything else must have been served
+	// from the cache or a join.
+	if f.CacheMisses != f.DistinctDigests {
+		fail("%d cache misses for %d distinct digests (single-flight dedup broken?)", f.CacheMisses, f.DistinctDigests)
+	}
+	// slack is an absolute floor under which a latency difference is
+	// scheduler jitter, not a regression: a cache-hit p50 lives in the
+	// sub-millisecond range where relative tolerances are meaningless.
+	rel := func(name string, fresh, base, slack float64, higherIsBetter bool) {
+		if base == 0 {
+			return
+		}
+		delta := fresh/base - 1
+		verdict := "ok"
+		regressed := (higherIsBetter && delta < -tolerance) || (!higherIsBetter && delta > tolerance)
+		if regressed && !higherIsBetter && fresh-base <= slack {
+			verdict = fmt.Sprintf("ok (within %.1f ms absolute slack)", slack)
+			regressed = false
+		}
+		if regressed {
+			verdict = fmt.Sprintf("FAIL: beyond %.0f%% tolerance", 100*tolerance)
+			ok = false
+		}
+		fmt.Printf("%-12s %12.2f baseline %12.2f  %+7.1f%%  %s\n", name, fresh, base, 100*delta, verdict)
+	}
+	fmt.Printf("serve gate: %d requests, %d clients, %d distinct digests, checksum %s, hits/misses/joins %d/%d/%d\n",
+		f.Requests, f.Clients, f.DistinctDigests, f.Checksum, f.CacheHits, f.CacheMisses, f.CacheJoins)
+	rel("p50_ms", f.P50Ms, b.P50Ms, 5, false)
+	rel("p99_ms", f.P99Ms, b.P99Ms, 250, false)
+	rel("rps", f.RPS, b.RPS, 0, true)
+	return ok
+}

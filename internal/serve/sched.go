@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"anton/internal/harness"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateCancelled JobState = "cancelled"
+)
+
+// Job is one scheduled experiment run. Jobs are created by the server
+// for both synchronous (/run) and asynchronous (/jobs) requests; the
+// asynchronous path exposes them by id for status, progress streaming,
+// and cancellation.
+type Job struct {
+	ID     string
+	Digest string
+	Req    *NormRequest
+
+	state     atomic.Value // JobState
+	completed atomic.Int64 // sweep units finished (the session progress hook)
+	cancelled atomic.Bool
+	entry     *Entry
+	cache     *Cache
+	sched     *Scheduler
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState { return j.state.Load().(JobState) }
+
+// Completed returns the number of finished sweep units.
+func (j *Job) Completed() int { return int(j.completed.Load()) }
+
+// Done exposes the underlying cache entry's completion channel: closed
+// when the result is available (or the entry aborted on cancellation).
+func (j *Job) Done() <-chan struct{} { return j.entry.Done() }
+
+// Result returns the cached payload once Done is closed.
+func (j *Job) Result() (Result, bool) { return j.entry.Result() }
+
+// Cancel requests cancellation. A queued job is withdrawn before it
+// starts: its in-flight cache entry aborts so joiners fail fast and a
+// later identical request recomputes. A running job is detached
+// instead — the simulation is deterministic and its result cacheable,
+// so abandoning compute that is already half done would only hurt the
+// next requester; the run continues to completion and caches normally
+// while this job reports cancelled. Returns false if the job had
+// already finished.
+func (j *Job) Cancel() bool {
+	if j.State() == StateDone {
+		return false
+	}
+	first := j.cancelled.CompareAndSwap(false, true)
+	if !first {
+		return false
+	}
+	// Withdraw-before-start races with the worker claiming the job; the
+	// claim CAS in runOne decides who wins.
+	if j.state.CompareAndSwap(StateQueued, StateCancelled) {
+		j.cache.Abort(j.entry)
+		return true
+	}
+	// Running: mark only. The worker finishes and caches; the job itself
+	// reports cancelled.
+	j.state.CompareAndSwap(StateRunning, StateCancelled)
+	return true
+}
+
+// SchedConfig sizes the batch scheduler.
+type SchedConfig struct {
+	// DESWorkers / AnalyticWorkers are the per-queue worker-pool sizes
+	// (minimum 1 each). Analytic requests have their own pool so a
+	// microsecond-scale closed-form query never waits behind a
+	// multi-second DES job.
+	DESWorkers      int
+	AnalyticWorkers int
+	// QueueDepth bounds each queue; a submit to a full queue fails (the
+	// server answers 503) instead of buffering unboundedly.
+	QueueDepth int
+	// SessionWorkers is the default per-run sweep/PDES goroutine budget
+	// when the request does not set one.
+	SessionWorkers int
+}
+
+func (c SchedConfig) withDefaults() SchedConfig {
+	if c.DESWorkers < 1 {
+		c.DESWorkers = 1
+	}
+	if c.AnalyticWorkers < 1 {
+		c.AnalyticWorkers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.SessionWorkers == 0 {
+		c.SessionWorkers = 1
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the target fidelity queue is
+// at capacity.
+var ErrQueueFull = fmt.Errorf("serve: queue full")
+
+// Scheduler runs jobs on bounded per-fidelity worker pools.
+type Scheduler struct {
+	cfg      SchedConfig
+	des      chan *Job
+	analytic chan *Job
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	// queued tracks per-queue depth for the stats endpoint (channel len
+	// alone misses jobs claimed but not yet finished).
+	queuedDES      atomic.Int64
+	queuedAnalytic atomic.Int64
+}
+
+// NewScheduler starts the worker pools.
+func NewScheduler(cfg SchedConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:      cfg,
+		des:      make(chan *Job, cfg.QueueDepth),
+		analytic: make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.DESWorkers; i++ {
+		s.wg.Add(1)
+		go s.work(s.des)
+	}
+	for i := 0; i < cfg.AnalyticWorkers; i++ {
+		s.wg.Add(1)
+		go s.work(s.analytic)
+	}
+	return s
+}
+
+// Close drains the queues and stops the workers. Queued jobs still run;
+// Submit after Close panics (the server closes only at shutdown, after
+// the listener is down).
+func (s *Scheduler) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.des)
+		close(s.analytic)
+		s.wg.Wait()
+	}
+}
+
+// QueueDepths reports the current (des, analytic) queue occupancy.
+func (s *Scheduler) QueueDepths() (int, int) {
+	return int(s.queuedDES.Load()), int(s.queuedAnalytic.Load())
+}
+
+// Submit enqueues a job owning in-flight cache entry e. The job is
+// routed by request fidelity. On a full queue the entry is aborted and
+// ErrQueueFull returned.
+func (s *Scheduler) Submit(j *Job) error {
+	q, depth := s.des, &s.queuedDES
+	if j.Req.Fidelity == harness.FidelityAnalytic {
+		q, depth = s.analytic, &s.queuedAnalytic
+	}
+	j.state.Store(StateQueued)
+	depth.Add(1)
+	select {
+	case q <- j:
+		return nil
+	default:
+		depth.Add(-1)
+		j.state.Store(StateCancelled)
+		j.cache.Abort(j.entry)
+		return ErrQueueFull
+	}
+}
+
+func (s *Scheduler) work(q chan *Job) {
+	defer s.wg.Done()
+	for j := range q {
+		s.runOne(j)
+	}
+}
+
+func (s *Scheduler) runOne(j *Job) {
+	depth := &s.queuedDES
+	if j.Req.Fidelity == harness.FidelityAnalytic {
+		depth = &s.queuedAnalytic
+	}
+	defer depth.Add(-1)
+	// Claim: a cancelled queued job lost the CAS race and was withdrawn
+	// (its entry already aborted) — skip it.
+	if !j.state.CompareAndSwap(StateQueued, StateRunning) {
+		return
+	}
+	sess := j.Req.Session(s.cfg.SessionWorkers, func(done int) {
+		j.completed.Store(int64(done))
+	})
+	res := runExperiment(j.Req, sess)
+	j.cache.Complete(j.entry, res)
+	// A mid-run cancel set the state to cancelled; keep that visible to
+	// the job's owner while the result still lands in the cache.
+	j.state.CompareAndSwap(StateRunning, StateDone)
+}
+
+// runExperiment executes the experiment in sess and renders the cached
+// payload. The response JSON is built exactly once, here: every
+// requester with the same digest — fresh run, single-flight joiner, or
+// later cache hit — receives these exact bytes, which is the
+// byte-identity contract the equivalence battery pins.
+func runExperiment(req *NormRequest, sess *harness.Session) Result {
+	var res Result
+	var report string
+	if req.Experiment.HasArtifacts() {
+		a := req.Experiment.ArtifactsWith(sess, req.Quick)
+		report = a.Report
+		res.Bench = a.BenchJSON
+		res.Trace = a.Trace
+	} else {
+		report = req.Experiment.RunWith(sess, req.Quick)
+	}
+	res.Response = renderResponse(req, sess.Completed(), report, len(res.Bench) > 0 || len(res.Trace) > 0)
+	return res
+}

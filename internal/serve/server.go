@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"anton/internal/checkpoint"
+	"anton/internal/harness"
+)
+
+// Config sizes one server instance.
+type Config struct {
+	// CacheEntries bounds the result cache (<= 0: unbounded).
+	CacheEntries int
+	// Sched sizes the batch scheduler.
+	Sched SchedConfig
+	// CheckpointPath, when non-empty, persists the completed result cache
+	// after every finished job and restores it at startup: a restarted
+	// server resumes with every previously completed experiment already
+	// answered, the same at-most-one-job-lost granularity as the
+	// antonbench CLI's per-experiment snapshots.
+	CheckpointPath string
+	// MaxJobs bounds the async job registry; the oldest finished jobs are
+	// forgotten beyond it (default 1024).
+	MaxJobs int
+}
+
+// Server is the simulation-as-a-service HTTP tier.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	sched *Scheduler
+	mux   *http.ServeMux
+
+	jobMu    sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string
+	jobSeq   int
+
+	persistMu sync.Mutex
+}
+
+// New builds a server, restoring the result cache from the checkpoint
+// (if configured and present).
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries),
+		sched: NewScheduler(cfg.Sched),
+		jobs:  map[string]*Job{},
+	}
+	if cfg.CheckpointPath != "" {
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+		s.cache.onComplete = s.persist
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Close stops the scheduler (queued jobs finish first) and writes a
+// final checkpoint.
+func (s *Server) Close() {
+	s.sched.Close()
+	if s.cfg.CheckpointPath != "" {
+		s.persist()
+	}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /api/v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /api/v1/results/{digest}", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/artifacts/{digest}/{kind}", s.handleArtifact)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+}
+
+// CacheHeader is the response header conveying the cache outcome
+// (hit, miss, join). It lives in a header, never in the body: the body
+// must be byte-identical between a fresh run and a cache hit.
+const CacheHeader = "X-Anton-Cache"
+
+// response is the JSON body of a completed run. Field order is fixed by
+// this struct, so the rendered bytes are canonical.
+type response struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Fidelity   string `json:"fidelity"`
+	Faults     string `json:"faults,omitempty"`
+	Quick      bool   `json:"quick"`
+	Digest     string `json:"digest"`
+	SweepUnits int    `json:"sweep_units"`
+	Artifacts  bool   `json:"artifacts"`
+	Report     string `json:"report"`
+}
+
+// renderResponse builds the canonical response bytes for a completed
+// run. sweepUnits is the session's completed progress count — itself
+// deterministic (the number of sweep jobs an experiment runs is fixed
+// by id and quick, not by scheduling).
+func renderResponse(req *NormRequest, sweepUnits int, report string, artifacts bool) []byte {
+	b, err := json.Marshal(response{
+		Experiment: req.Experiment.ID,
+		Title:      req.Experiment.Title,
+		Fidelity:   req.Fidelity,
+		Faults:     req.Faults,
+		Quick:      req.Quick,
+		Digest:     req.Digest(),
+		SweepUnits: sweepUnits,
+		Artifacts:  artifacts,
+		Report:     report,
+	})
+	if err != nil {
+		panic(err) // string/bool/int fields cannot fail to marshal
+	}
+	return append(b, '\n')
+}
+
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	b, _ := json.Marshal(struct {
+		Error errBody `json:"error"`
+	}{errBody{Code: code, Message: msg}})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type expInfo struct {
+		ID        string `json:"id"`
+		Title     string `json:"title"`
+		Analytic  bool   `json:"analytic"`
+		Artifacts bool   `json:"artifacts"`
+	}
+	var out []expInfo
+	for _, e := range harness.Experiments() {
+		out = append(out, expInfo{ID: e.ID, Title: e.Title, Analytic: e.Analytic, Artifacts: e.HasArtifacts()})
+	}
+	writeJSON(w, map[string]interface{}{"experiments": out})
+}
+
+// parseBody reads and normalizes the request, writing the 400 itself on
+// failure.
+func (s *Server) parseBody(w http.ResponseWriter, r *http.Request) *NormRequest {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad-body", err.Error())
+		return nil
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		var code = "bad-request"
+		if be, ok := err.(*BadRequestError); ok {
+			code = be.Code
+		}
+		writeErr(w, http.StatusBadRequest, code, err.Error())
+		return nil
+	}
+	return req
+}
+
+// handleRun is the synchronous path: answer from the cache, join an
+// identical in-flight run, or schedule and wait.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req := s.parseBody(w, r)
+	if req == nil {
+		return
+	}
+	digest := req.Digest()
+	// A joined entry can abort under us (its owner was a cancelled queued
+	// job); retry the lookup — the next round becomes the owner.
+	for {
+		entry, outcome := s.cache.Get(digest)
+		if outcome == Miss {
+			j := &Job{Digest: digest, Req: req, entry: entry, cache: s.cache, sched: s.sched}
+			if err := s.sched.Submit(j); err != nil {
+				writeErr(w, http.StatusServiceUnavailable, "queue-full",
+					fmt.Sprintf("the %s queue is at capacity; retry later", req.Fidelity))
+				return
+			}
+		}
+		select {
+		case <-entry.Done():
+		case <-r.Context().Done():
+			// The client went away. The computation (if any) continues and
+			// caches; nothing to write.
+			return
+		}
+		res, ok := entry.Result()
+		if !ok {
+			continue // aborted: recompute
+		}
+		w.Header().Set(CacheHeader, string(outcome))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res.Response)
+		return
+	}
+}
+
+// jobStatus is the JSON shape of an async job.
+type jobStatus struct {
+	Job       string   `json:"job"`
+	Digest    string   `json:"digest"`
+	State     JobState `json:"state"`
+	Completed int      `json:"completed"`
+	Cache     string   `json:"cache,omitempty"`
+}
+
+func (s *Server) registerJob(j *Job) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobSeq++
+	j.ID = fmt.Sprintf("j%d", s.jobSeq)
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	for len(s.jobOrder) > s.cfg.MaxJobs {
+		// Forget the oldest finished job; a still-active head stalls
+		// eviction rather than losing a live handle.
+		old := s.jobs[s.jobOrder[0]]
+		if st := old.State(); st != StateDone && st != StateCancelled {
+			break
+		}
+		delete(s.jobs, s.jobOrder[0])
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+func (s *Server) job(id string) *Job {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.jobs[id]
+}
+
+// handleSubmit is the asynchronous path: enqueue (or attach to the
+// cache) and return a job id immediately.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req := s.parseBody(w, r)
+	if req == nil {
+		return
+	}
+	digest := req.Digest()
+	entry, outcome := s.cache.Get(digest)
+	j := &Job{Digest: digest, Req: req, entry: entry, cache: s.cache, sched: s.sched}
+	switch outcome {
+	case Miss:
+		if err := s.sched.Submit(j); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "queue-full",
+				fmt.Sprintf("the %s queue is at capacity; retry later", req.Fidelity))
+			return
+		}
+	case Hit:
+		j.state.Store(StateDone)
+	case Join:
+		// Ride the in-flight computation; the job is done when it is.
+		j.state.Store(StateRunning)
+		go func() {
+			<-entry.Done()
+			j.state.CompareAndSwap(StateRunning, StateDone)
+		}()
+	}
+	s.registerJob(j)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, jobStatus{Job: j.ID, Digest: digest, State: j.State(), Completed: j.Completed(), Cache: string(outcome)})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown-job", fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, jobStatus{Job: j.ID, Digest: j.Digest, State: j.State(), Completed: j.Completed()})
+}
+
+// handleJobStream streams progress as newline-delimited JSON: one line
+// per observed change of (state, completed), ending with the terminal
+// state. A job that is already done emits exactly one line.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown-job", fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var last jobStatus
+	emit := func(st jobStatus) {
+		b, _ := json.Marshal(st)
+		w.Write(append(b, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		last = st
+	}
+	for {
+		st := jobStatus{Job: j.ID, Digest: j.Digest, State: j.State(), Completed: j.Completed()}
+		if st != last {
+			emit(st)
+		}
+		if st.State == StateDone || st.State == StateCancelled {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			// Emit the terminal line on the next loop turn.
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown-job", fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, jobStatus{Job: j.ID, Digest: j.Digest, State: j.State(), Completed: j.Completed()})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.cache.Peek(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown-result", "no completed result with that digest")
+		return
+	}
+	w.Header().Set(CacheHeader, string(Hit))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res.Response)
+}
+
+// handleArtifact serves a completed run's machine-readable artifacts:
+// kind "bench" is the BENCH_metrics.json payload, kind "trace" the
+// chrome://tracing export.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.cache.Peek(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown-result", "no completed result with that digest")
+		return
+	}
+	var body []byte
+	switch r.PathValue("kind") {
+	case "bench":
+		body = res.Bench
+	case "trace":
+		body = res.Trace
+	default:
+		writeErr(w, http.StatusNotFound, "unknown-artifact",
+			fmt.Sprintf("unknown artifact kind %q (valid: bench, trace)", r.PathValue("kind")))
+		return
+	}
+	if len(body) == 0 {
+		writeErr(w, http.StatusNotFound, "no-artifacts", "this experiment has no machine-readable artifacts")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	des, analytic := s.sched.QueueDepths()
+	writeJSON(w, map[string]interface{}{
+		"cache": s.cache.Stats(),
+		"queues": map[string]int{
+			"des":      des,
+			"analytic": analytic,
+		},
+	})
+}
+
+// checkpointKind names this server's snapshots.
+const checkpointKind = "antonserve"
+
+// rowSep separates the fields of one persisted cache row. Every
+// persisted payload is JSON text, which cannot contain a NUL byte, so
+// the separator is unambiguous.
+const rowSep = "\x00"
+
+// persist writes the completed result cache to the checkpoint path.
+// Serialized under persistMu so concurrent completions cannot interleave
+// tmp-file writes; the snapshot itself is atomic (tmp + rename).
+func (s *Server) persist() {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	entries := s.cache.Snapshot()
+	rows := make([]string, 0, len(entries))
+	for _, e := range entries {
+		res := e.ResultOf()
+		rows = append(rows, strings.Join([]string{
+			e.Digest, string(res.Response), string(res.Bench), string(res.Trace),
+		}, rowSep))
+	}
+	st := &checkpoint.State{
+		Kind:   checkpointKind,
+		Step:   int64(len(rows)),
+		Fields: map[string]string{"schema": "anton-serve/v1"},
+		Rows:   rows,
+	}
+	if err := st.WriteFile(s.cfg.CheckpointPath); err != nil {
+		// Persistence is best-effort durability, not correctness: the
+		// server keeps serving from memory.
+		fmt.Printf("antonserve: checkpoint: %v\n", err)
+	}
+}
+
+// restore seeds the cache from the checkpoint, ignoring a missing file
+// (first boot).
+func (s *Server) restore() error {
+	st, err := checkpoint.ReadFile(s.cfg.CheckpointPath)
+	if err != nil {
+		if isNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if st.Kind != checkpointKind {
+		return fmt.Errorf("serve: checkpoint %s was written by %q, not %s", s.cfg.CheckpointPath, st.Kind, checkpointKind)
+	}
+	for _, r := range st.Rows {
+		parts := strings.SplitN(r, rowSep, 4)
+		if len(parts) != 4 {
+			return fmt.Errorf("serve: malformed checkpoint row")
+		}
+		res := Result{Response: []byte(parts[1])}
+		if parts[2] != "" {
+			res.Bench = []byte(parts[2])
+		}
+		if parts[3] != "" {
+			res.Trace = []byte(parts[3])
+		}
+		s.cache.Seed(parts[0], res)
+	}
+	return nil
+}
+
+func isNotExist(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no such file")
+}
