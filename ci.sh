@@ -68,6 +68,8 @@ mkdir -p "$tmpdir/bin"
 go build -o "$tmpdir/bin/antonbench" ./cmd/antonbench
 go build -o "$tmpdir/bin/mdsim" ./cmd/mdsim
 go build -o "$tmpdir/bin/benchgate" ./cmd/benchgate
+go build -o "$tmpdir/bin/antonserve" ./cmd/antonserve
+go build -o "$tmpdir/bin/loadgen" ./cmd/loadgen
 
 stage "go test -race -short"
 go test -race -short ./...
@@ -155,6 +157,51 @@ stage "serve dedup + checkpoint restore"
 # simulation) and the restart path (a restored cache answers
 # byte-identically without recomputing, artifacts included).
 go test -run 'TestSingleFlightDedup|TestCheckpointRestore|TestLoadChecksumDeterministic' ./internal/serve
+
+stage "chaos suite (drain, kill -9, restart byte-identity)"
+# The serving tier's crash battery against a real antonserve process:
+# (1) drive retried load at a live server and snapshot every mix
+# digest's bytes, (2) SIGTERM must drain gracefully — readiness flips,
+# in-flight work finishes or aborts within the budget, the checkpoint
+# persists exactly once, exit code 0, (3) a fresh server is kill -9'd
+# under load (checkpoint writes included), and (4) the restarted server
+# must restore an uncorrupted checkpoint and serve every previously
+# fetched digest byte-identically.
+chaos_addr="127.0.0.1:18321"
+chaos_url="http://$chaos_addr"
+"$tmpdir/bin/antonserve" -addr "$chaos_addr" -checkpoint "$tmpdir/chaos.ckpt" \
+	-drain 10s >"$tmpdir/chaos-1.log" 2>&1 &
+chaos_pid=$!
+"$tmpdir/bin/loadgen" -addr "$chaos_url" -wait-ready 15s -n 60 -clients 6 -retries 4 -seed 1
+"$tmpdir/bin/loadgen" -addr "$chaos_url" -fetch "$tmpdir/chaos-before"
+kill -TERM "$chaos_pid"
+wait "$chaos_pid" # set -e: a non-zero drain exit fails the stage
+# Crash: restart from the drained checkpoint, put fresh uncached DES
+# work in flight (each completion rewrites the checkpoint, so the kill
+# can land mid-persist — the atomic write-then-rename must keep the
+# file whole), and SIGKILL the process.
+"$tmpdir/bin/antonserve" -addr "$chaos_addr" -checkpoint "$tmpdir/chaos.ckpt" \
+	-drain 10s >"$tmpdir/chaos-2.log" 2>&1 &
+chaos_pid=$!
+"$tmpdir/bin/loadgen" -addr "$chaos_url" -wait-ready 15s -n 20 -clients 4 -retries 4 -seed 2
+"$tmpdir/bin/loadgen" -addr "$chaos_url" -n 2000 -clients 16 -extra-faults 64 \
+	-retries 0 -seed 3 >/dev/null 2>&1 &
+chaos_load=$!
+sleep 1
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+wait "$chaos_load" 2>/dev/null || true
+# Restart: the checkpoint must restore (a corrupt one exits 1 and
+# -wait-ready fails the stage) and serve the pre-crash bytes.
+"$tmpdir/bin/antonserve" -addr "$chaos_addr" -checkpoint "$tmpdir/chaos.ckpt" \
+	-drain 10s >"$tmpdir/chaos-3.log" 2>&1 &
+chaos_pid=$!
+"$tmpdir/bin/loadgen" -addr "$chaos_url" -wait-ready 15s -fetch "$tmpdir/chaos-after"
+for f in "$tmpdir/chaos-before"/*.json; do
+	cmp "$f" "$tmpdir/chaos-after/$(basename "$f")"
+done
+kill -TERM "$chaos_pid"
+wait "$chaos_pid"
 
 stage "recovery suite"
 # Hard-failure survival: the machine and cluster recovery batteries

@@ -37,6 +37,7 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -211,14 +212,48 @@ func Decode(b []byte) (*State, error) {
 	return st, nil
 }
 
-// WriteFile atomically writes the snapshot to path (temp file + rename),
-// so a kill during checkpointing never leaves a torn snapshot behind.
+// WriteFile atomically writes the snapshot to path. The temp file gets
+// a unique name (concurrent writers never scribble on each other's
+// half-written bytes) and is fsynced before the rename, so after a
+// SIGKILL — even one landing mid-persist — the path holds either the
+// previous complete snapshot or the new one, never a torn file. The
+// directory fsync after the rename is best-effort: it narrows the
+// window in which a machine crash forgets the rename, and filesystems
+// that refuse directory syncs lose nothing else.
 func (st *State) WriteFile(path string) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, st.Encode(), 0o644); err != nil {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(st.Encode()); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // ReadFile reads and validates the snapshot at path.

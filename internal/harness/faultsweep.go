@@ -48,6 +48,7 @@ func SweepFaultPlan(rate float64) fault.Plan {
 func faultSim(sess *Session, p fault.Plan) *sim.Sim {
 	s := sim.New()
 	s.SetWorkers(par.Workers(sess.Workers))
+	sess.armAbort(s)
 	fault.Attach(s, p)
 	return s
 }

@@ -16,6 +16,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -104,6 +105,18 @@ type Session struct {
 	// the count is monotone. The serving tier streams it to clients.
 	Progress func(completed int)
 
+	// Ctx, when non-nil, cooperatively cancels the run: the generic
+	// sweep() consults it between sweep points (a cancelled session skips
+	// every remaining sweep unit), and every simulator the session builds
+	// installs an abort hook polled at PDES window boundaries and
+	// sequential event-batch boundaries (sim.SetAbort). Cancellation never
+	// produces partial committed state inside a simulator — the kernel
+	// stops only between fully committed events — but a cancelled run's
+	// report is a truncated artifact and must be discarded, never cached
+	// or served; the serving tier aborts the in-flight cache entry. Nil
+	// means the session is never cancelled.
+	Ctx context.Context
+
 	completed atomic.Int64
 }
 
@@ -133,6 +146,7 @@ func (s *Session) fidelity() string {
 func (s *Session) NewSim() *sim.Sim {
 	sm := sim.New()
 	sm.SetWorkers(par.Workers(s.Workers))
+	s.armAbort(sm)
 	if s.Faults != nil {
 		fault.Attach(sm, *s.Faults)
 	}
@@ -140,6 +154,27 @@ func (s *Session) NewSim() *sim.Sim {
 		metrics.Attach(sm)
 	}
 	return sm
+}
+
+// armAbort installs the session's cooperative-abort hook on sm (a
+// no-op for a session without a context). Every simulator a session
+// run builds must pass through here — NewSim does, and so does the
+// fault-sweep experiments' custom-plan faultSim — otherwise a
+// cancellation stalls until the next sweep point instead of stopping
+// at the next event batch or PDES window.
+func (s *Session) armAbort(sm *sim.Sim) {
+	if s.Ctx == nil {
+		return
+	}
+	done := s.Ctx.Done()
+	sm.SetAbort(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
 }
 
 // step records one completed sweep unit and notifies the progress hook.
@@ -153,12 +188,42 @@ func (s *Session) step() {
 // Completed reports the cumulative number of finished sweep units.
 func (s *Session) Completed() int { return int(s.completed.Load()) }
 
+// Cancelled reports whether the session's context (if any) has been
+// cancelled. Experiments and the generic sweep consult it between units
+// of work; once it returns true the run's output is garbage by contract.
+func (s *Session) Cancelled() bool {
+	if s.Ctx == nil {
+		return false
+	}
+	select {
+	case <-s.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the session context's error: nil while live,
+// context.Canceled or context.DeadlineExceeded after cancellation.
+func (s *Session) Err() error {
+	if s.Ctx == nil {
+		return nil
+	}
+	return s.Ctx.Err()
+}
+
 // sweep runs n independent jobs — each building its own sim.Sim and
 // machine — on the session worker pool and returns the results in index
-// order. Each completed job bumps the session progress counter.
+// order. Each completed job bumps the session progress counter. A
+// cancelled session skips every not-yet-started unit, leaving zero
+// values behind: the caller's report is then a discarded artifact (the
+// progress counter also stops, so observers can tell the run died).
 func sweep[T any](s *Session, n int, job func(i int) T) []T {
 	out := make([]T, n)
 	par.ParFor(par.Workers(s.Workers), n, func(i int) {
+		if s.Cancelled() {
+			return
+		}
 		out[i] = job(i)
 		s.step()
 	})

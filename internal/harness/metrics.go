@@ -161,6 +161,9 @@ func antonHist(sess *Session, quick bool) (*metrics.Hist, *metrics.Recorder, top
 	})
 	total := &metrics.Hist{}
 	for _, h := range shards {
+		if h == nil {
+			continue // skipped unit of a cancelled session; report is discarded
+		}
 		total.Merge(*h)
 	}
 

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Deadline-aware admission support: the server sheds requests whose
+// deadline the observed per-experiment run times say cannot be met,
+// answering 503 with a Retry-After computed from the queue backlog
+// instead of holding a doomed request in the queue until its 504.
+
+// runTimes is the observed run-time estimator, keyed by
+// NormRequest.TimeKey (experiment/fidelity/density). It is deliberately
+// tiny: the key space is bounded by the experiment registry (a few
+// dozen entries at most), so an unbounded map is fine.
+type runTimes struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+func newRunTimes() *runTimes { return &runTimes{m: map[string]time.Duration{}} }
+
+// observe folds one completed run's wall time into the key's estimate.
+// EWMA with alpha 1/2: recent behaviour dominates quickly (cache
+// warming and load shifts change run times), while a single outlier
+// cannot stick.
+func (r *runTimes) observe(key string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.m[key]; ok {
+		r.m[key] = (prev + d) / 2
+	} else {
+		r.m[key] = d
+	}
+}
+
+// estimate returns the current estimate for key, or 0 when the key has
+// never been observed — admission is optimistic about unknown work, so
+// a cold server never sheds.
+func (r *runTimes) estimate(key string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[key]
+}

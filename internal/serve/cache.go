@@ -42,16 +42,23 @@ type Entry struct {
 	// Owned by the cache mutex after completion.
 	res     Result
 	aborted bool
+	failed  bool
 	elem    *list.Element
 }
 
-// Done is closed when the entry completes or aborts.
+// Done is closed when the entry completes, aborts, or fails.
 func (e *Entry) Done() <-chan struct{} { return e.done }
 
 // Result returns the cached payload and whether the computation
-// completed (false: aborted, e.g. a cancelled queued job). Only valid
-// after Done is closed.
+// completed (false: aborted or failed). Only valid after Done is
+// closed.
 func (e *Entry) Result() (Result, bool) { return e.res, !e.aborted }
+
+// Failed reports whether the entry's computation failed terminally (a
+// panicking experiment) rather than being cancelled: waiters should
+// answer an error instead of re-arming the single-flight slot. Only
+// valid after Done is closed.
+func (e *Entry) Failed() bool { return e.failed }
 
 // Stats are the cache's monotone outcome counters.
 type Stats struct {
@@ -59,7 +66,11 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Joins     uint64 `json:"joins"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
+	// Aborts counts in-flight entries withdrawn without a result —
+	// cancelled, timed-out, shed, or failed runs. None of them ever
+	// count as Entries: an aborted computation's bytes are never cached.
+	Aborts  uint64 `json:"aborts"`
+	Entries int    `json:"entries"`
 }
 
 // Cache is the digest-keyed single-flight result cache with LRU
@@ -107,6 +118,33 @@ func (c *Cache) Get(digest string) (*Entry, Outcome) {
 	return e, Miss
 }
 
+// GetCompleted returns the completed result for digest — counting a
+// Hit and refreshing recency exactly like Get — but never creates an
+// in-flight entry on absence. The synchronous handler uses it to serve
+// hits ahead of admission control: bytes already in memory are always
+// within any deadline.
+func (c *Cache) GetCompleted(digest string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[digest]
+	if !ok {
+		return Result{}, false
+	}
+	select {
+	case <-e.done:
+		if e.aborted {
+			return Result{}, false
+		}
+		c.stats.Hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		return e.res, true
+	default:
+		return Result{}, false
+	}
+}
+
 // Peek returns the completed result for digest without creating an
 // in-flight entry (and without counting an outcome).
 func (c *Cache) Peek(digest string) (Result, bool) {
@@ -149,13 +187,30 @@ func (c *Cache) Complete(e *Entry, res Result) {
 	}
 }
 
-// Abort removes an in-flight entry without a result (a cancelled queued
-// job); waiters observe Done with ok=false, and the next identical
-// request recomputes from scratch.
+// Abort removes an in-flight entry without a result (a cancelled,
+// timed-out, or shed job); waiters observe Done with ok=false, and the
+// next identical request re-arms the single-flight slot and recomputes
+// from scratch. This is the cache-side half of the cancellation
+// contract: an interrupted computation's bytes can never be served.
 func (c *Cache) Abort(e *Entry) {
 	c.mu.Lock()
 	e.aborted = true
 	delete(c.entries, e.Digest)
+	c.stats.Aborts++
+	close(e.done)
+	c.mu.Unlock()
+}
+
+// Fail removes an in-flight entry whose computation failed terminally
+// (it panicked with a live context). Like Abort, nothing is cached and
+// the next request recomputes — but waiters see Failed() and answer an
+// error instead of looping on the re-arm path.
+func (c *Cache) Fail(e *Entry) {
+	c.mu.Lock()
+	e.aborted = true
+	e.failed = true
+	delete(c.entries, e.Digest)
+	c.stats.Aborts++
 	close(e.done)
 	c.mu.Unlock()
 }

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"anton/internal/checkpoint"
+)
+
+// The drain battery: startup gating, readiness flips, the drain budget
+// aborting stragglers, and the persist-exactly-once checkpoint write.
+
+// TestStartingNotReadyUntilRestore pins the boot shape: NewStarting
+// serves liveness but refuses admission until Restore flips it ready.
+func TestStartingNotReadyUntilRestore(t *testing.T) {
+	srv := NewStarting(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, _, _ := httpDo(t, "GET", ts.URL+"/api/v1/healthz", ""); status != http.StatusOK {
+		t.Fatalf("healthz while starting: %d, want 200 (liveness is not readiness)", status)
+	}
+	status, b, hdr := httpDo(t, "GET", ts.URL+"/api/v1/readyz", "")
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(b), "starting") {
+		t.Fatalf("readyz while starting: %d %s", status, b)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 lacks Retry-After")
+	}
+	status, b, _ = httpDo(t, "POST", ts.URL+"/api/v1/run", `{"experiment":"fig6","quick":true}`)
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(b), "starting") {
+		t.Fatalf("run admitted while starting: %d %s", status, b)
+	}
+
+	if err := srv.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := httpDo(t, "GET", ts.URL+"/api/v1/readyz", ""); status != http.StatusOK {
+		t.Fatalf("readyz after Restore: %d, want 200", status)
+	}
+	if status, b, _ := httpDo(t, "POST", ts.URL+"/api/v1/run", `{"experiment":"fig6","quick":true}`); status != http.StatusOK {
+		t.Fatalf("run after Restore: %d %s", status, b)
+	}
+}
+
+// TestDrainPersistsExactlyOnce completes work, drains, and requires the
+// drain to add exactly one checkpoint write (repeat Closes add none),
+// with the written snapshot restoring every completed result.
+func TestDrainPersistsExactlyOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.ckpt")
+	srv, err := New(Config{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const body = `{"experiment":"fig6","quick":true}`
+	digest := mustNormalize(t, body).Digest()
+	if status, b, _ := httpDo(t, "POST", ts.URL+"/api/v1/run", body); status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, b)
+	}
+	if p := srv.Persists(); p != 1 {
+		t.Fatalf("persists after one completion = %d, want 1 (per-completion hook)", p)
+	}
+
+	p0 := srv.Persists()
+	srv.Drain()
+	if p := srv.Persists(); p != p0+1 {
+		t.Fatalf("drain wrote %d checkpoints, want exactly 1", p-p0)
+	}
+	srv.Close()
+	srv.Drain()
+	if p := srv.Persists(); p != p0+1 {
+		t.Fatalf("repeat Close/Drain re-persisted: %d writes total, want %d", p, p0+1)
+	}
+
+	// The drained checkpoint restores the completed result.
+	srv2, err := New(Config{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if _, ok := srv2.cache.Peek(digest); !ok {
+		t.Fatal("restarted server lost the drained checkpoint's result")
+	}
+}
+
+// TestDrainBudgetAbortsInFlight starts a long run, drains with a small
+// budget, and requires Drain to return promptly with the straggler
+// aborted — never cached, never persisted — and the checkpoint written
+// exactly once (empty: nothing completed).
+func TestDrainBudgetAbortsInFlight(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.ckpt")
+	srv, err := New(Config{
+		CheckpointPath: path,
+		DrainBudget:    200 * time.Millisecond,
+		Sched:          SchedConfig{DESWorkers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := submitJob(t, ts.URL, longDES)
+	waitUntil(t, 10*time.Second, "job to start running", func() bool {
+		return jobStateOf(t, ts.URL, id) == string(StateRunning)
+	})
+
+	t0 := time.Now()
+	srv.Drain()
+	if el := time.Since(t0); el > abortBound {
+		t.Fatalf("drain took %s: budget did not abort the in-flight run", el)
+	}
+	if st := jobStateOf(t, ts.URL, id); st != string(StateCancelled) {
+		t.Fatalf("in-flight job after drain = %q, want cancelled", st)
+	}
+	if st := srv.cache.Stats(); st.Entries != 0 || st.Aborts == 0 {
+		t.Fatalf("drained straggler left cache state %+v", st)
+	}
+	if p := srv.Persists(); p != 1 {
+		t.Fatalf("drain persisted %d times, want exactly 1", p)
+	}
+	st, err := checkpoint.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 0 {
+		t.Fatalf("aborted run leaked %d rows into the drained checkpoint", st.Step)
+	}
+
+	// Post-drain admission refuses; the raced Submit path degrades to
+	// ErrQueueFull instead of panicking on a closed scheduler.
+	status, b, _ := httpDo(t, "POST", ts.URL+"/api/v1/run", `{"experiment":"fig6","quick":true}`)
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(b), "draining") {
+		t.Fatalf("run after drain: %d %s", status, b)
+	}
+	req := mustNormalize(t, `{"experiment":"fig6","quick":true}`)
+	entry, _ := srv.cache.Get(req.Digest())
+	if err := srv.sched.Submit(srv.newJob(req, req.Digest(), entry, time.Time{})); err != ErrQueueFull {
+		t.Fatalf("Submit on a closed scheduler: %v, want ErrQueueFull", err)
+	}
+}
+
+// TestBeginDrainFlipsReadinessKeepsCached pins the lame-duck window:
+// after BeginDrain (before Drain completes) readiness reports draining,
+// new compute is refused, but cached bytes still serve.
+func TestBeginDrainFlipsReadinessKeepsCached(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const body = `{"experiment":"fig6","quick":true}`
+	if status, b, _ := httpDo(t, "POST", ts.URL+"/api/v1/run", body); status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, b)
+	}
+
+	srv.BeginDrain()
+	if status, b, _ := httpDo(t, "GET", ts.URL+"/api/v1/readyz", ""); status != http.StatusServiceUnavailable || !strings.Contains(string(b), "draining") {
+		t.Fatalf("readyz while draining: %d %s", status, b)
+	}
+	if status, _, _ := httpDo(t, "GET", ts.URL+"/api/v1/healthz", ""); status != http.StatusOK {
+		t.Fatal("healthz flipped during drain; liveness must stay up")
+	}
+	status, _, hdr := httpDo(t, "POST", ts.URL+"/api/v1/run", body)
+	if status != http.StatusOK || hdr.Get(CacheHeader) != string(Hit) {
+		t.Fatalf("cached result refused during drain: %d cache=%s", status, hdr.Get(CacheHeader))
+	}
+	if status, _, _ := httpDo(t, "POST", ts.URL+"/api/v1/run", `{"experiment":"fig5","quick":true}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("uncached compute admitted during drain: %d", status)
+	}
+}

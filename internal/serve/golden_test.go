@@ -59,6 +59,9 @@ func TestAPIGolden(t *testing.T) {
 		if c := resp.Header.Get(CacheHeader); c != "" {
 			fmt.Fprintf(&b, " cache=%s", c)
 		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			fmt.Fprintf(&b, " retry-after=%s", ra)
+		}
 		fmt.Fprintf(&b, "\n%s", respBody)
 		if len(respBody) > 0 && respBody[len(respBody)-1] != '\n' {
 			b.WriteByte('\n')
@@ -70,6 +73,7 @@ func TestAPIGolden(t *testing.T) {
 	digest := mustNormalize(t, fastpath).Digest()
 
 	call("health", "GET", "/api/v1/healthz", "")
+	call("ready", "GET", "/api/v1/readyz", "")
 	call("experiments", "GET", "/api/v1/experiments", "")
 	call("unknown experiment", "POST", "/api/v1/run", `{"experiment":"fig99"}`)
 	call("bad fidelity", "POST", "/api/v1/run", `{"experiment":"fig5","fidelity":"cartoon"}`)
@@ -77,11 +81,14 @@ func TestAPIGolden(t *testing.T) {
 	call("analytic with faults refused", "POST", "/api/v1/run",
 		`{"experiment":"fastpath","fidelity":"analytic","faults":"seed=1,corrupt=1e-4"}`)
 	call("bad plan", "POST", "/api/v1/run", `{"experiment":"fig5","faults":"corrupt=lots"}`)
+	call("bad timeout", "POST", "/api/v1/run", `{"experiment":"fig5","timeout_ms":-3}`)
 	call("unknown field", "POST", "/api/v1/run", `{"experiment":"fig5","fidelty":"des"}`)
 	call("wrong method", "GET", "/api/v1/run", "")
 	call("run fastpath analytic (miss)", "POST", "/api/v1/run", fastpath)
 	call("run again, different workers/metrics (hit, same bytes)", "POST", "/api/v1/run",
 		`{"workers":5,"metrics":true,"experiment":"fastpath","fidelity":"analytic","quick":true}`)
+	call("run again with a generous timeout (hit, same bytes: timeout never changes the digest)", "POST", "/api/v1/run",
+		`{"experiment":"fastpath","fidelity":"analytic","quick":true,"timeout_ms":60000}`)
 	call("result by digest", "GET", "/api/v1/results/"+digest, "")
 	call("unknown result", "GET", "/api/v1/results/deadbeef", "")
 	call("artifacts of an artifact-free experiment", "GET", "/api/v1/artifacts/"+digest+"/bench", "")
@@ -92,6 +99,16 @@ func TestAPIGolden(t *testing.T) {
 	call("cancel a done job", "DELETE", "/api/v1/jobs/j1", "")
 	call("unknown job", "GET", "/api/v1/jobs/zzz", "")
 	call("stats", "GET", "/api/v1/stats", "")
+
+	// Drain: readiness flips, admission refuses compute, but cached
+	// results still serve (a draining server finishes what it can).
+	srv.BeginDrain()
+	call("ready while draining", "GET", "/api/v1/readyz", "")
+	call("health while draining (liveness stays up)", "GET", "/api/v1/healthz", "")
+	call("run while draining (cached: still served)", "POST", "/api/v1/run", fastpath)
+	call("run uncached while draining (refused)", "POST", "/api/v1/run", `{"experiment":"fig5","quick":true}`)
+	call("submit while draining (refused)", "POST", "/api/v1/jobs", fastpath)
+	call("stats while draining", "GET", "/api/v1/stats", "")
 
 	golden := filepath.Join("testdata", "api_golden.txt")
 	if *update {

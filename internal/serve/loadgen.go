@@ -7,7 +7,10 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +53,19 @@ type LoadConfig struct {
 	Clients  int
 	Seed     uint64
 	Mix      []Request // nil: DefaultMix
+
+	// Retries is the per-request retry budget for retryable failures:
+	// transport errors and the shedding statuses 503/504. 0 disables
+	// retries (the seed behaviour).
+	Retries int
+	// Backoff is the base retry delay: attempt k waits Backoff<<(k-1)
+	// plus deterministic seeded jitter in [0, Backoff), raised to the
+	// server's Retry-After hint when that is larger (default 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps any single wait, Retry-After included (default 2s)
+	// — a load generator that sleeps the full server hint would measure
+	// the hint, not the recovery.
+	MaxBackoff time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -62,6 +78,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.Mix == nil {
 		c.Mix = DefaultMix()
 	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
 	return c
 }
 
@@ -69,19 +91,24 @@ func (c LoadConfig) withDefaults() LoadConfig {
 // (Requests, Errors, DistinctDigests, Checksum) are gated exactly by
 // benchgate; the wall-clock fields within a tolerance.
 type LoadStats struct {
-	Requests        int     `json:"requests"`
-	Clients         int     `json:"clients"`
-	Errors          int     `json:"errors"`
-	DistinctDigests int     `json:"distinct_digests"`
-	Checksum        string  `json:"checksum"`
-	CacheHits       int     `json:"cache_hits"`
-	CacheMisses     int     `json:"cache_misses"`
-	CacheJoins      int     `json:"cache_joins"`
-	P50Ms           float64 `json:"p50_ms"`
-	P99Ms           float64 `json:"p99_ms"`
-	MeanMs          float64 `json:"mean_ms"`
-	WallMs          float64 `json:"wall_ms"`
-	RPS             float64 `json:"rps"`
+	Requests        int    `json:"requests"`
+	Clients         int    `json:"clients"`
+	Errors          int    `json:"errors"`
+	DistinctDigests int    `json:"distinct_digests"`
+	Checksum        string `json:"checksum"`
+	CacheHits       int    `json:"cache_hits"`
+	CacheMisses     int    `json:"cache_misses"`
+	CacheJoins      int    `json:"cache_joins"`
+	// Retried counts requests that needed at least one retry;
+	// RetryAttempts counts the extra attempts issued in total. Both are
+	// 0 on a healthy in-process run (the committed baseline pins that).
+	Retried       int     `json:"retried"`
+	RetryAttempts int     `json:"retry_attempts"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	WallMs        float64 `json:"wall_ms"`
+	RPS           float64 `json:"rps"`
 }
 
 // splitmix64 is the standard 64-bit mix; request i draws its mix entry
@@ -120,6 +147,7 @@ func RunLoad(baseURL string, client *http.Client, cfg LoadConfig) (LoadStats, er
 	latencies := make([]time.Duration, cfg.Requests)
 	var checksum, errs atomic.Uint64
 	var hits, misses, joins atomic.Int64
+	var retried, retryAttempts atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -134,29 +162,67 @@ func RunLoad(baseURL string, client *http.Client, cfg LoadConfig) (LoadStats, er
 				}
 				pick := int(splitmix64(cfg.Seed+uint64(i)) % uint64(len(cfg.Mix)))
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+"/run", "application/json", bytes.NewReader(bodies[pick]))
-				if err != nil {
-					errs.Add(1)
-					continue
+				// Retry loop: transport errors and the shedding statuses
+				// (503 queue-full/draining, 504 deadline) are retryable;
+				// everything else is a terminal client error. Only the final
+				// successful body feeds the checksum, so the order-independent
+				// sum is untouched by how many attempts a request needed.
+				attempts := 0
+				for {
+					resp, err := client.Post(baseURL+"/run", "application/json", bytes.NewReader(bodies[pick]))
+					var body []byte
+					status, retryAfter := 0, 0
+					outcome := ""
+					if err == nil {
+						body, err = io.ReadAll(resp.Body)
+						resp.Body.Close()
+						status = resp.StatusCode
+						retryAfter, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
+						outcome = resp.Header.Get(CacheHeader)
+					}
+					if err == nil && status == http.StatusOK {
+						switch Outcome(outcome) {
+						case Hit:
+							hits.Add(1)
+						case Miss:
+							misses.Add(1)
+						case Join:
+							joins.Add(1)
+						}
+						h := fnv.New64a()
+						h.Write(body)
+						checksum.Add(h.Sum64())
+						break
+					}
+					retryable := err != nil ||
+						status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout
+					if !retryable || attempts >= cfg.Retries {
+						errs.Add(1)
+						break
+					}
+					attempts++
+					retryAttempts.Add(1)
+					// Exponential backoff with deterministic seeded jitter:
+					// the same (seed, request, attempt) always waits the same
+					// extra amount, so a replayed run schedules identically.
+					shift := attempts - 1
+					if shift > 10 {
+						shift = 10 // MaxBackoff caps the wait anyway
+					}
+					wait := cfg.Backoff << shift
+					wait += time.Duration(splitmix64(cfg.Seed^uint64(i)<<16^uint64(attempts)) % uint64(cfg.Backoff))
+					if ra := time.Duration(retryAfter) * time.Second; ra > wait {
+						wait = ra
+					}
+					if wait > cfg.MaxBackoff {
+						wait = cfg.MaxBackoff
+					}
+					time.Sleep(wait)
 				}
-				body, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
+				if attempts > 0 {
+					retried.Add(1)
+				}
 				latencies[i] = time.Since(t0)
-				if err != nil || resp.StatusCode != http.StatusOK {
-					errs.Add(1)
-					continue
-				}
-				switch Outcome(resp.Header.Get(CacheHeader)) {
-				case Hit:
-					hits.Add(1)
-				case Miss:
-					misses.Add(1)
-				case Join:
-					joins.Add(1)
-				}
-				h := fnv.New64a()
-				h.Write(body)
-				checksum.Add(h.Sum64())
 			}
 		}()
 	}
@@ -184,6 +250,8 @@ func RunLoad(baseURL string, client *http.Client, cfg LoadConfig) (LoadStats, er
 		CacheHits:       int(hits.Load()),
 		CacheMisses:     int(misses.Load()),
 		CacheJoins:      int(joins.Load()),
+		Retried:         int(retried.Load()),
+		RetryAttempts:   int(retryAttempts.Load()),
 		P50Ms:           pct(0.50),
 		P99Ms:           pct(0.99),
 		MeanMs:          float64(sum) / float64(cfg.Requests) / 1e6,
@@ -193,6 +261,95 @@ func RunLoad(baseURL string, client *http.Client, cfg LoadConfig) (LoadStats, er
 		st.RPS = float64(cfg.Requests) / wall.Seconds()
 	}
 	return st, nil
+}
+
+// MixWithExtraFaults is DefaultMix plus n faulted fig6 variants with
+// distinct fault seeds — n guaranteed-uncached digests of real DES
+// compute. The chaos battery uses it to keep jobs in flight at the
+// moment it SIGKILLs the server.
+func MixWithExtraFaults(n int) []Request {
+	mix := DefaultMix()
+	for i := 0; i < n; i++ {
+		mix = append(mix, Request{
+			Experiment: "fig6", Quick: true,
+			Faults: fmt.Sprintf("seed=%d,corrupt=1e-4", 1000+i),
+		})
+	}
+	return mix
+}
+
+// MixDigests returns a mix's distinct cache digests in first-appearance
+// order. The chaos suite enumerates them to assert a restarted server
+// still serves every previously completed result byte-identically.
+func MixDigests(mix []Request) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	for i, r := range mix {
+		n, err := Normalize(r)
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %d: %w", i, err)
+		}
+		if d := n.Digest(); !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// WaitReady polls GET {base}/readyz until the server answers 200 or the
+// timeout expires — the cross-process analogue of waiting for Restore.
+func WaitReady(baseURL string, client *http.Client, timeout time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(baseURL + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("readyz: %s", resp.Status)
+		} else {
+			last = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready after %s: %v", timeout, last)
+}
+
+// FetchResults downloads GET /results/{digest} for each digest into dir
+// as <digest>.json, failing on any non-200 — the byte-identity probe
+// the chaos suite runs before and after a crash/restart cycle.
+func FetchResults(baseURL string, client *http.Client, digests []string, dir string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range digests {
+		resp, err := client.Get(baseURL + "/results/" + d)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("results/%s: %s: %s", d, resp.Status, bytes.TrimSpace(body))
+		}
+		if err := os.WriteFile(filepath.Join(dir, d+".json"), body, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // BenchSchema versions the BENCH_serve.json layout.
@@ -225,6 +382,9 @@ func CompareBench(base, fresh BenchFile, tolerance float64) bool {
 	}
 	if f.Errors != 0 {
 		fail("%d request errors (baseline requires 0)", f.Errors)
+	}
+	if f.RetryAttempts != 0 {
+		fail("%d retry attempts against an in-process server (baseline requires 0)", f.RetryAttempts)
 	}
 	if f.DistinctDigests != b.DistinctDigests {
 		fail("mix spans %d distinct digests, baseline pinned %d", f.DistinctDigests, b.DistinctDigests)

@@ -20,6 +20,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"anton/internal/fault"
 	"anton/internal/harness"
@@ -46,12 +47,19 @@ type Request struct {
 	// simulators. Recording never changes a response byte and is excluded
 	// from the cache digest.
 	Metrics bool `json:"metrics,omitempty"`
+	// TimeoutMs bounds this request's end-to-end time in milliseconds
+	// (0 = the server's default deadline, if configured). A request that
+	// misses its deadline answers 504 and its computation aborts
+	// cooperatively; timed-out runs never populate the cache. Like
+	// workers/metrics it cannot change a response byte, so it is excluded
+	// from the cache digest.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // BadRequestError describes a request rejected during normalization;
 // the server answers it with HTTP 400.
 type BadRequestError struct {
-	Code string // machine-readable: unknown-experiment, bad-fidelity, bad-plan, analytic-refused
+	Code string // machine-readable: unknown-experiment, bad-fidelity, bad-plan, bad-timeout, analytic-refused
 	Msg  string
 }
 
@@ -66,6 +74,9 @@ type NormRequest struct {
 	Quick      bool
 	Workers    int
 	Metrics    bool
+	// Timeout is the request's deadline budget (0: use the server
+	// default; never negative after Normalize).
+	Timeout time.Duration
 }
 
 // Normalize validates the request against the experiment registry and
@@ -89,7 +100,12 @@ func Normalize(r Request) (*NormRequest, error) {
 	if err != nil {
 		return nil, &BadRequestError{Code: "bad-fidelity", Msg: err.Error()}
 	}
-	n := &NormRequest{Experiment: e, Fidelity: f, Quick: r.Quick, Workers: r.Workers, Metrics: r.Metrics}
+	if r.TimeoutMs < 0 {
+		return nil, &BadRequestError{Code: "bad-timeout",
+			Msg: fmt.Sprintf("timeout_ms must be >= 0, got %d", r.TimeoutMs)}
+	}
+	n := &NormRequest{Experiment: e, Fidelity: f, Quick: r.Quick, Workers: r.Workers, Metrics: r.Metrics,
+		Timeout: time.Duration(r.TimeoutMs) * time.Millisecond}
 	if f == harness.FidelityAnalytic {
 		if !e.Analytic {
 			return nil, &BadRequestError{Code: "analytic-refused",
@@ -143,6 +159,19 @@ func (n *NormRequest) Digest() string {
 		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TimeKey groups requests whose run times are comparable for the
+// deadline-aware admission estimator: same experiment, fidelity, and
+// sampling density. Fault plans are deliberately folded together — they
+// perturb wall time far less than the experiment choice does, and an
+// estimator keyed per plan would almost never have an observation.
+func (n *NormRequest) TimeKey() string {
+	density := "full"
+	if n.Quick {
+		density = "quick"
+	}
+	return n.Experiment.ID + "/" + n.Fidelity + "/" + density
 }
 
 // Session builds the isolated harness session this request runs in.

@@ -130,6 +130,7 @@ func FuzzRequestDigest(f *testing.F) {
 	f.Add(`{"experiment":"killsweep","faults":"seed=9,killlink=0:X+@2us,wdog=15us"}`)
 	f.Add(`{"experiment":"fig12","quick":true,"workers":8,"metrics":true}`)
 	f.Add(`  {  "experiment" : "table1" , "quick" : false }  `)
+	f.Add(`{"experiment":"fig5","quick":true,"timeout_ms":2500}`)
 	f.Fuzz(func(t *testing.T, body string) {
 		n, err := ParseRequest([]byte(body))
 		if err != nil {
@@ -155,19 +156,23 @@ func FuzzRequestDigest(f *testing.F) {
 				body, d, reordered, n2.Digest())
 		}
 
-		// Workers and metrics must never move the digest.
+		// Workers, metrics, and timeout_ms must never move the digest:
+		// the same experiment under a different execution budget is the
+		// same result, or the cache (and the chaos battery's byte-identity
+		// checks) would fracture by deadline.
 		m["workers"] = float64(7)
 		m["metrics"] = true
+		m["timeout_ms"] = float64(12345)
 		mutated, err := json.Marshal(m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		n3, err := ParseRequest(mutated)
 		if err != nil {
-			t.Fatalf("workers/metrics mutation rejected: %v (%s)", err, mutated)
+			t.Fatalf("workers/metrics/timeout mutation rejected: %v (%s)", err, mutated)
 		}
 		if n3.Digest() != d {
-			t.Fatalf("digest depends on workers/metrics: %s -> %s", mutated, n3.Digest())
+			t.Fatalf("digest depends on workers/metrics/timeout_ms: %s -> %s", mutated, n3.Digest())
 		}
 
 		// Flipping quick must move it (quick changes sampling density,

@@ -264,8 +264,14 @@ func (p *pdes) globalMin() Time {
 
 // run executes windows until the queues drain or (when bounded) every
 // remaining event lies beyond deadline; it reports whether it drained.
+// The abort hook is polled only here, between windows: a window that has
+// started always commits whole, so an aborted run is a prefix of complete
+// windows in the canonical order.
 func (p *pdes) run(s *Sim, deadline Time, bounded bool) bool {
 	for {
+		if s.abortFn != nil && s.abortNow() {
+			return false
+		}
 		min := p.globalMin()
 		if min == maxTime {
 			return true

@@ -185,6 +185,15 @@ type Sim struct {
 	// the fault layer's draws replayable.
 	Faults any
 
+	// Cooperative abort hook (abort.go): abortFn is polled between event
+	// batches (sequential executor) and at window boundaries (PDES
+	// executor); aborted latches the first true answer. Both are nil/false
+	// in every CLI path, so the hook costs nothing unless a serving-tier
+	// session installs one.
+	abortFn    func() bool
+	aborted    bool
+	abortBatch int
+
 	// Metrics is the attachment point for the observability layer
 	// (internal/metrics): metrics.Attach stores its *Recorder here and
 	// the model constructors pick it up, exactly like Faults. The
@@ -299,29 +308,63 @@ func (s *Sim) exec(e *event) {
 }
 
 // Run executes events until the queue is empty and returns the final time.
+// With an abort hook installed the loop may instead stop at a batch or
+// window boundary (see Aborted); the state left behind is a clean prefix of
+// the full run.
 func (s *Sim) Run() Time {
 	if s.pd != nil {
 		s.pd.run(s, 0, false)
 		return s.now
 	}
-	for s.Step() {
+	if s.abortFn == nil {
+		for s.Step() {
+		}
+		return s.now
+	}
+	for !s.abortNow() {
+		for budget := s.abortBatchSize(); budget > 0; budget-- {
+			if !s.Step() {
+				return s.now
+			}
+		}
 	}
 	return s.now
 }
 
 // RunUntil executes events with timestamps <= deadline. It returns true if
 // the queue drained before the deadline, false if events remain beyond it.
-// The clock is advanced to the deadline when events remain.
+// The clock is advanced to the deadline when events remain. An abort (see
+// SetAbort) returns false with the clock left at the last committed event —
+// the run is a prefix, not a result.
 func (s *Sim) RunUntil(deadline Time) bool {
 	if s.pd != nil {
 		if s.pd.run(s, deadline, true) {
 			return true
 		}
-		s.now = deadline
+		if !s.aborted {
+			s.now = deadline
+		}
 		return false
 	}
-	for len(s.events) > 0 && s.events[0].at <= deadline {
-		s.Step()
+	if s.abortFn == nil {
+		for len(s.events) > 0 && s.events[0].at <= deadline {
+			s.Step()
+		}
+	} else {
+		budget := s.abortBatchSize()
+		for len(s.events) > 0 && s.events[0].at <= deadline {
+			if budget == 0 {
+				if s.abortNow() {
+					return false
+				}
+				budget = s.abortBatchSize()
+			}
+			budget--
+			s.Step()
+		}
+		if s.aborted {
+			return false
+		}
 	}
 	if len(s.events) == 0 {
 		return true
